@@ -1,0 +1,110 @@
+"""Table 1: lines-of-code savings and headline speedups across applications.
+
+For each of the four case studies, the harness reports the user-written
+LoC (one Einsum), the hand-written baseline's LoC as published, the LoC
+saving, and the modelled speedup over that baseline at a representative
+configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import PAPER_BASELINE_LOC, format_table, geometric_mean, loc_saving
+from repro.baselines import (
+    CuSparseSpMM,
+    E3nnTensorProduct,
+    SputnikSpMM,
+    TorchBSRSpMM,
+    TorchSparseConv,
+)
+from repro.datasets import (
+    build_kernel_map,
+    generate_scene,
+    list_graphs,
+    load_graph_matrix,
+    random_block_sparse_matrix,
+    voxelize,
+)
+from repro.kernels import (
+    FullyConnectedTensorProduct,
+    SparseConv3d,
+    StructuredSpMM,
+    UnstructuredSpMM,
+)
+
+
+@pytest.fixture(scope="module")
+def summary_rows():
+    rows = []
+
+    # Structured SpMM: hypersparse 32x32-block matrix (where Figure 10 shows
+    # the largest advantage over TorchBSR).
+    matrix = random_block_sparse_matrix(2048, (32, 32), 0.05, rng=0)
+    ours = StructuredSpMM(matrix, dtype="fp16", autotune_group_size=True,
+                          autotune_num_cols=2048).estimate_ms(2048)
+    baseline = TorchBSRSpMM(matrix, dtype="fp16").modeled_ms(np.zeros((2048, 2048), np.float32))
+    rows.append(["Structured SpMM", "TorchBSR", PAPER_BASELINE_LOC["structured_spmm"][1],
+                 StructuredSpMM.lines_of_code, loc_saving("structured_spmm", 1), baseline / ours])
+
+    # Unstructured SpMM: geomean over the TC-GNN suite vs the best hand-written
+    # baseline per matrix (Sputnik), reported against cuSPARSE-normalised times.
+    speedups = []
+    for name in list_graphs()[:6]:
+        csr = load_graph_matrix(name, max_rows=2048)
+        dense = np.zeros((csr.shape[1], 128), dtype=np.float32)
+        ours_ms = UnstructuredSpMM(csr).estimate_ms(128)
+        sputnik_ms = SputnikSpMM(csr).modeled_ms(dense)
+        speedups.append(sputnik_ms / ours_ms)
+    rows.append(["Unstructured SpMM", "Sputnik", PAPER_BASELINE_LOC["unstructured_spmm"][1],
+                 UnstructuredSpMM.lines_of_code, loc_saving("unstructured_spmm", 1),
+                 geometric_mean(speedups)])
+
+    # Equivariant tensor product: l_max=1, 16 channels (the paper's headline 3.81x
+    # comes from the small-channel regime where e3nn's launch overhead dominates).
+    layer = FullyConnectedTensorProduct(1, 16)
+    ours_ms = layer.estimate_ms(10_000)
+    x = np.zeros((10_000, layer.slot_dimension, 16), dtype=np.float32)
+    y = np.zeros((10_000, layer.slot_dimension), dtype=np.float32)
+    w = np.zeros((10_000, layer.cg.num_paths, 16, 16), dtype=np.float32)
+    e3nn_ms = E3nnTensorProduct(layer.cg, 16).modeled_ms(x, y, w)
+    rows.append(["Equivariant Tensor Prod.", "e3nn",
+                 PAPER_BASELINE_LOC["equivariant_tensor_product"][1],
+                 FullyConnectedTensorProduct.lines_of_code,
+                 loc_saving("equivariant_tensor_product", 1), e3nn_ms / ours_ms])
+
+    # Sparse convolution: conferenceRoom-style scene vs TorchSparse Algo2.
+    voxels = voxelize(generate_scene("conferenceRoom", max_points=10_000), 0.05)
+    kernel_map = build_kernel_map(voxels)
+    conv = SparseConv3d(kernel_map, 128, 128, dtype="fp16")
+    ours_ms = conv.estimate_ms()
+    baseline_ms = TorchSparseConv(kernel_map, "fetch_on_demand", dtype="fp16").modeled_ms(
+        np.zeros((kernel_map.num_voxels, 128), np.float32), conv.weight
+    )
+    rows.append(["Sparse Conv.", "TorchSparse", PAPER_BASELINE_LOC["sparse_convolution"][1],
+                 SparseConv3d.lines_of_code, loc_saving("sparse_convolution", 1),
+                 baseline_ms / ours_ms])
+    return rows
+
+
+def test_table1_summary(summary_rows, report, benchmark):
+    report(
+        "table1_summary",
+        format_table(
+            ["application", "baseline", "baseline_loc", "our_loc", "loc_saving_x", "speedup_x"],
+            summary_rows,
+            title="Table 1 — LoC savings and modelled speedups vs hand-written baselines",
+        ),
+    )
+    for row in summary_rows:
+        assert row[3] == 1              # one line of user code per application
+        assert row[4] >= 200            # at least 202x LoC saving
+        assert row[5] > 1.0             # faster than the hand-written baseline
+
+    # Benchmark the cheapest end-to-end application as the timed body.
+    matrix = random_block_sparse_matrix(512, (32, 32), 0.1, rng=2).astype(np.float64)
+    op = StructuredSpMM(matrix)
+    dense = np.random.default_rng(0).standard_normal((512, 128))
+    result = benchmark(op, dense)
+    np.testing.assert_allclose(result, matrix @ dense, atol=1e-6)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness prints the paper-style table or series it reproduces and also
+writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from the files regardless of pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a report block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

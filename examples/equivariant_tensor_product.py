@@ -1,0 +1,47 @@
+"""Equivariant (uvw) tensor product (the Table 2 workload).
+
+Builds the exact Clebsch-Gordan tensor for a given l_max, runs the fully
+connected tensor product through the indirect-Einsum kernel, verifies it
+against a dense einsum, and compares against the e3nn- and
+cuEquivariance-style baselines.
+
+Run with:  python examples/equivariant_tensor_product.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import CuEquivarianceTensorProduct, E3nnTensorProduct
+from repro.kernels import FullyConnectedTensorProduct
+
+L_MAX = 2
+CHANNELS = 32
+BATCH = 512
+
+
+def main() -> None:
+    layer = FullyConnectedTensorProduct(l_max=L_MAX, channels=CHANNELS)
+    print(f"l_max={L_MAX}: {layer.cg.num_paths} paths, CG tensor {layer.cg.shape} "
+          f"with {layer.cg.nnz} nonzeros (density {layer.cg.density:.3f})")
+    print(f"grouped by path with group size {layer.group_size}")
+
+    x, y, w = layer.random_inputs(batch=BATCH, rng=0)
+    output = layer(x, y, w)
+    print("matches dense reference:", np.allclose(output, layer.reference(x, y, w), atol=1e-8))
+
+    e3nn = E3nnTensorProduct(layer.cg, CHANNELS)
+    cueq = CuEquivarianceTensorProduct(layer.cg, CHANNELS)
+    rows = [
+        ["Ours (indirect Einsum, fused)", layer.modeled_ms, 1.0],
+        ["e3nn (per-path loops)", e3nn.modeled_ms(x, y, w), e3nn.modeled_ms(x, y, w) / layer.modeled_ms],
+        ["cuEquivariance (segmented)", cueq.modeled_ms(x, y, w), cueq.modeled_ms(x, y, w) / layer.modeled_ms],
+    ]
+    print()
+    print(format_table(["implementation", "modeled_ms", "slowdown_vs_ours"], rows,
+                       title=f"Fully connected tensor product (batch {BATCH}, {CHANNELS} channels)",
+                       float_format="{:.4f}"))
+    print(f"\nthe whole layer is this one Einsum:\n  {FullyConnectedTensorProduct.expression}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim so editable installs work with older setuptools (offline env)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of "Insum: Sparse GPU Kernels Simplified and
+Optimized with Indirect Einsums" (ASPLOS 2026).
+
+Public API highlights
+---------------------
+* :func:`repro.insum` / :class:`repro.Insum` — execute an indirect Einsum
+  written over the arrays of a fixed-length sparse format.
+* :func:`repro.sparse_einsum` — the one-line format-agnostic API: pass a
+  :class:`repro.formats.SparseFormat` operand and a classic Einsum string.
+* :mod:`repro.formats` — COO, CSR, ELL, BCSR, BlockCOO, GroupCOO,
+  BlockGroupCOO and the group-size heuristic of Section 4.2.
+* :mod:`repro.kernels` — the paper's four case-study applications
+  (structured/unstructured SpMM, point-cloud sparse convolution, the
+  equivariant tensor product) built on the public API.
+* :mod:`repro.baselines` — the hand-written libraries and sparse compilers
+  the paper compares against, re-implemented at the algorithm level.
+* :mod:`repro.core` — the compiler itself: the indirect-Einsum frontend,
+  the FX-like graph IR, the extended Inductor-like backend, and the
+  simulated Triton/GPU layer.
+"""
+
+from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
+from repro.core.inductor import InductorConfig
+from repro.core.triton_sim import DeviceModel, RTX3090
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Insum",
+    "SparseEinsum",
+    "insum",
+    "sparse_einsum",
+    "InductorConfig",
+    "DeviceModel",
+    "RTX3090",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Measurement helpers: lines-of-code accounting, metrics, and reporting."""
+
+from repro.analysis.loc import PAPER_BASELINE_LOC, count_lines_of_code, loc_saving
+from repro.analysis.metrics import geometric_mean, speedup
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "PAPER_BASELINE_LOC",
+    "count_lines_of_code",
+    "loc_saving",
+    "geometric_mean",
+    "speedup",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,26 @@
+"""Performance metrics shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def speedup(baseline_ms: float, ours_ms: float) -> float:
+    """How many times faster ``ours`` is than ``baseline`` (>1 means faster)."""
+    if ours_ms <= 0:
+        raise ValueError(f"ours_ms must be positive, got {ours_ms}")
+    if baseline_ms < 0:
+        raise ValueError(f"baseline_ms must be non-negative, got {baseline_ms}")
+    return baseline_ms / ours_ms
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregate the paper reports for Figures 11 and 12."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(data <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))

@@ -1,0 +1,36 @@
+"""Algorithm-level re-implementations of the systems the paper compares against.
+
+Each baseline keeps the structural property that, according to the paper,
+drives its performance (BCSR row pointers for TorchBSR, row swizzling for
+Sputnik, masked implicit GEMM vs. fetch-on-demand for TorchSparse, per-path
+loops for e3nn, dense segment padding for cuEquivariance, unscheduled CPU
+codegen for TACO, manual schedules and CPU-side format conversion for
+SparseTIR).  Every baseline computes real numerics with NumPy/SciPy and
+reports a modelled GPU runtime through the same device model used for our
+generated kernels.
+"""
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.baselines.dense import DenseMatmul
+from repro.baselines.torch_bsr import TorchBSRSpMM
+from repro.baselines.sputnik import SputnikSpMM
+from repro.baselines.cusparse import CuSparseSpMM
+from repro.baselines.torchsparse import TorchSparseConv
+from repro.baselines.e3nn_like import E3nnTensorProduct
+from repro.baselines.cuequivariance_like import CuEquivarianceTensorProduct
+from repro.baselines.taco_like import TacoSparseCompiler
+from repro.baselines.sparsetir_like import SparseTIRCompiler
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "DenseMatmul",
+    "TorchBSRSpMM",
+    "SputnikSpMM",
+    "CuSparseSpMM",
+    "TorchSparseConv",
+    "E3nnTensorProduct",
+    "CuEquivarianceTensorProduct",
+    "TacoSparseCompiler",
+    "SparseTIRCompiler",
+]

@@ -1,0 +1,61 @@
+"""Common interface of the baseline implementations."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.triton_sim.device import DeviceModel, RTX3090
+from repro.core.triton_sim.kernel import KernelSpec
+from repro.core.triton_sim.profiler import CostReport, estimate_total_time
+
+
+@dataclass
+class BaselineResult:
+    """Output of one baseline execution: numerics plus modelled cost."""
+
+    output: np.ndarray
+    cost: CostReport
+
+    @property
+    def modeled_ms(self) -> float:
+        return self.cost.total_ms
+
+
+class Baseline(abc.ABC):
+    """A hand-written library or compiler the paper compares against.
+
+    Subclasses implement :meth:`_compute` (the numerics) and
+    :meth:`_kernels` (the kernel specs describing how the library would
+    execute on the GPU); :meth:`run` couples the two.
+    """
+
+    #: Display name used in benchmark tables.
+    name: str = "baseline"
+    #: Lines of code of the original implementation, as reported in Table 1
+    #: (None when the paper does not report a number, e.g. cuSPARSE).
+    lines_of_code: int | None = None
+
+    def __init__(self, device: DeviceModel = RTX3090):
+        self.device = device
+
+    @abc.abstractmethod
+    def _compute(self, *args, **kwargs) -> np.ndarray:
+        """Produce the numeric result with NumPy/SciPy."""
+
+    @abc.abstractmethod
+    def _kernels(self, *args, **kwargs) -> list[KernelSpec]:
+        """Describe the kernels the library would launch for this problem."""
+
+    def run(self, *args, **kwargs) -> BaselineResult:
+        """Execute the baseline and attach its modelled cost."""
+        output = self._compute(*args, **kwargs)
+        kernels = self._kernels(*args, **kwargs)
+        return BaselineResult(output=output, cost=estimate_total_time(kernels, self.device))
+
+    def modeled_ms(self, *args, **kwargs) -> float:
+        """Modelled runtime without computing the numerics (for sweeps)."""
+        kernels = self._kernels(*args, **kwargs)
+        return estimate_total_time(kernels, self.device).total_ms

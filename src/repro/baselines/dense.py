@@ -1,0 +1,55 @@
+"""Dense matrix multiplication baseline (the "Dense MM" line of Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+
+
+class DenseMatmul(Baseline):
+    """cuBLAS-style dense GEMM: ignores sparsity entirely.
+
+    The vendor library sustains a higher fraction of peak than generated
+    kernels, which is why sparse kernels only win beyond a sparsity
+    threshold (the crossover points discussed in Section 6.2).
+    """
+
+    name = "Dense MM"
+    lines_of_code = None
+
+    #: Fraction of peak Tensor Core throughput cuBLAS-class GEMMs sustain.
+    LIBRARY_COMPUTE_EFFICIENCY = 0.90
+    LIBRARY_DRAM_EFFICIENCY = 0.92
+
+    def __init__(self, dtype: str = "fp16", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        self.dtype = dtype
+
+    def _compute(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return np.asarray(lhs) @ np.asarray(rhs)
+
+    def _kernels(self, lhs: np.ndarray, rhs: np.ndarray) -> list[KernelSpec]:
+        lhs = np.asarray(lhs)
+        rhs = np.asarray(rhs)
+        rows, inner = lhs.shape
+        cols = rhs.shape[1]
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        return [
+            KernelSpec(
+                name="cublas_gemm",
+                grid=max(1, (rows // 128) * (cols // 128)),
+                loads=[
+                    MemoryAccess("A", rows * inner, element_bytes),
+                    MemoryAccess("B", inner * cols, element_bytes),
+                ],
+                stores=[MemoryAccess("C", rows * cols, element_bytes)],
+                flops=2.0 * rows * inner * cols,
+                uses_tensor_core=True,
+                dtype=self.dtype,
+                compute_efficiency=self.LIBRARY_COMPUTE_EFFICIENCY,
+                dram_efficiency=self.LIBRARY_DRAM_EFFICIENCY,
+                description="dense GEMM (vendor library)",
+            )
+        ]

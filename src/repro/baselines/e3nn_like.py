@@ -1,0 +1,117 @@
+"""e3nn-style equivariant tensor product baseline (Table 2).
+
+e3nn assembles the fully connected tensor product from its per-path
+Clebsch–Gordan blocks: each path ``(l1, l2) -> l_out`` is executed as its
+own small einsum over dense blocks.  That keeps the code simple (the paper
+counts 225 LoC) but launches many small kernels, none of which is large
+enough to use Tensor Cores well, and re-reads the input features once per
+path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+from repro.datasets.clebsch_gordan import CGTensor
+
+
+class E3nnTensorProduct(Baseline):
+    """Per-path dense einsums (the e3nn execution strategy)."""
+
+    name = "e3nn"
+    lines_of_code = 225
+
+    PATH_COMPUTE_EFFICIENCY = 0.12  # tiny einsums keep the GPU mostly idle
+    PATH_DRAM_EFFICIENCY = 0.65
+    #: Each path launches one main einsum plus several reshape/accumulate
+    #: helper kernels around it.
+    KERNELS_PER_PATH = 6
+
+    def __init__(self, cg: CGTensor, channels: int, dtype: str = "fp32", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        self.cg = cg
+        self.channels = int(channels)
+        self.dtype = dtype
+        self._slot_offsets = np.cumsum([0] + [2 * l + 1 for l in range(cg.l_max + 1)])
+
+    def _path_slices(self, path_index: int) -> tuple[slice, slice, slice]:
+        l1, l2, l3 = self.cg.paths[path_index]
+        offsets = self._slot_offsets
+        return (
+            slice(offsets[l1], offsets[l1] + 2 * l1 + 1),
+            slice(offsets[l2], offsets[l2] + 2 * l2 + 1),
+            slice(offsets[l3], offsets[l3] + 2 * l3 + 1),
+        )
+
+    def _compute(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        x, y, w = np.asarray(x), np.asarray(y), np.asarray(w)
+        batch = x.shape[0]
+        output = np.zeros((batch, self.cg.slot_dimension(), self.channels), dtype=x.dtype)
+        for path_index in range(self.cg.num_paths):
+            slice1, slice2, slice3 = self._path_slices(path_index)
+            block = self.cg.dense[slice3, slice1, slice2, path_index]
+            output[:, slice3, :] += np.einsum(
+                "ijk,bju,bk,buw->biw",
+                block,
+                x[:, slice1, :],
+                y[:, slice2],
+                w[:, path_index],
+                optimize=True,
+            )
+        return output
+
+    def _kernels(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> list[KernelSpec]:
+        x = np.asarray(x)
+        batch = x.shape[0]
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        channels = self.channels
+        kernels: list[KernelSpec] = []
+        for path_index, (l1, l2, l3) in enumerate(self.cg.paths):
+            dim1, dim2, dim3 = 2 * l1 + 1, 2 * l2 + 1, 2 * l3 + 1
+            block_nnz = int(
+                np.count_nonzero(self.cg.dense[..., path_index])
+            )
+            flops = 2.0 * batch * block_nnz * channels * channels
+            # The main einsum kernel of the path reads its operand slices and
+            # writes its output slice.
+            kernels.append(
+                KernelSpec(
+                    name=f"e3nn_path{path_index}_einsum",
+                    grid=max(1, batch // 256),
+                    loads=[
+                        MemoryAccess("X", batch * dim1 * channels, element_bytes),
+                        MemoryAccess("Y", batch * dim2, element_bytes),
+                        MemoryAccess("W", batch * channels * channels, element_bytes),
+                    ],
+                    stores=[MemoryAccess("Z", batch * dim3 * channels, element_bytes)],
+                    flops=flops,
+                    uses_tensor_core=False,
+                    dtype=self.dtype,
+                    compute_efficiency=self.PATH_COMPUTE_EFFICIENCY,
+                    dram_efficiency=self.PATH_DRAM_EFFICIENCY,
+                    description=f"path ({l1},{l2})->{l3} einsum",
+                )
+            )
+            # Helper kernels (reshape, broadcast, accumulate into Z): mostly
+            # launch overhead plus a round trip of the path's output slice.
+            for step in range(self.KERNELS_PER_PATH - 1):
+                kernels.append(
+                    KernelSpec(
+                        name=f"e3nn_path{path_index}_helper{step}",
+                        grid=max(1, batch // 1024),
+                        loads=[
+                            MemoryAccess("Zpartial", batch * dim3 * channels, element_bytes)
+                        ],
+                        stores=[
+                            MemoryAccess("Zpartial", batch * dim3 * channels, element_bytes)
+                        ],
+                        flops=0.0,
+                        uses_tensor_core=False,
+                        dtype=self.dtype,
+                        dram_efficiency=self.PATH_DRAM_EFFICIENCY,
+                        description=f"path ({l1},{l2})->{l3} helper {step}",
+                    )
+                )
+        return kernels

@@ -1,0 +1,135 @@
+"""SparseTIR-style sparse compiler baseline (Table 3).
+
+SparseTIR composes sparse formats on top of TVM and can generate good GPU
+code — but only after the user supplies a long manual schedule (the paper
+reports adopting an ~860-line schedule from the authors), and its format
+conversion runs on the CPU, which dominates preprocessing time.  Those two
+properties are reproduced here: a fixed "schedule" description stands in
+for the manual effort, conversion is implemented as a deliberate pure-Python
+(CPU) loop, and the generated kernel is modelled as a well-scheduled fused
+Tensor Core kernel slightly below our generated kernel's efficiency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+from repro.core.triton_sim.profiler import estimate_total_time
+from repro.datasets.pointclouds import KernelMap
+from repro.errors import LoweringError
+from repro.utils.timing import Timer
+
+
+class SparseTIRCompiler(Baseline):
+    """SparseTIR-like compiler: manual schedules, CPU-side format conversion."""
+
+    name = "SparseTIR"
+    lines_of_code = None
+    #: Size of the manual schedule the paper had to adopt (Table 3).
+    schedule_lines_of_code = 860
+
+    SCHEDULED_COMPUTE_EFFICIENCY = 0.45
+    SCHEDULED_DRAM_EFFICIENCY = 0.72
+
+    def __init__(self, dtype: str = "fp16", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        self.dtype = dtype
+        self.compile_seconds: float | None = None
+        self.format_conversion_ms: float | None = None
+        self._grouped: dict[int, np.ndarray] | None = None
+        self._num_voxels = 0
+
+    # -- compilation -----------------------------------------------------------------
+    def compile(self) -> float:
+        """Apply the (fixed) manual schedule and lower; returns elapsed seconds."""
+        with Timer() as timer:
+            # The schedule itself is a fixed artefact; lowering it is cheap.
+            schedule = [f"sch.step_{i}()" for i in range(self.schedule_lines_of_code)]
+            self._schedule = "\n".join(schedule)
+        self.compile_seconds = timer.elapsed
+        return timer.elapsed
+
+    # -- format conversion ----------------------------------------------------------------
+    def convert(self, kernel_map: KernelMap) -> float:
+        """Bucket pairs per kernel offset with a CPU-side (pure Python) pass."""
+        with Timer() as timer:
+            buckets: dict[int, list[tuple[int, int]]] = {}
+            for offset_index, pairs in enumerate(kernel_map.pairs):
+                # Deliberately element-by-element: SparseTIR's conversion for
+                # this workload runs on the host, not the GPU.
+                bucket = buckets.setdefault(offset_index, [])
+                for out_index, in_index in pairs.tolist():
+                    bucket.append((out_index, in_index))
+            self._grouped = {
+                offset: np.asarray(bucket, dtype=np.int64).reshape(-1, 2)
+                for offset, bucket in buckets.items()
+                if bucket
+            }
+            self._num_voxels = kernel_map.num_voxels
+        self.format_conversion_ms = timer.elapsed_ms
+        return timer.elapsed_ms
+
+    # -- execution ---------------------------------------------------------------------------
+    def _compute(self, features: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        if self._grouped is None:
+            raise LoweringError("call convert() before run()")
+        features = np.asarray(features)
+        weight = np.asarray(weight)
+        output = np.zeros((self._num_voxels, weight.shape[2]), dtype=features.dtype)
+        for offset_index, pairs in self._grouped.items():
+            gathered = features[pairs[:, 1]]
+            np.add.at(output, pairs[:, 0], gathered @ weight[offset_index])
+        return output
+
+    def _kernels(self, features: np.ndarray, weight: np.ndarray) -> list[KernelSpec]:
+        if self._grouped is None:
+            raise LoweringError("call convert() before modelling the kernel")
+        weight = np.asarray(weight)
+        in_channels = weight.shape[1]
+        out_channels = weight.shape[2]
+        total_pairs = int(sum(len(p) for p in self._grouped.values()))
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        return [
+            KernelSpec(
+                name="sparsetir_fused_spconv",
+                grid=max(1, total_pairs // 128),
+                loads=[
+                    MemoryAccess("pairs", total_pairs * 2, 4),
+                    MemoryAccess(
+                        "In",
+                        total_pairs * in_channels,
+                        element_bytes,
+                        indirect=True,
+                        contiguous_elements=in_channels,
+                        unique_elements=self._num_voxels * in_channels,
+                    ),
+                    MemoryAccess(
+                        "Weight",
+                        len(self._grouped) * in_channels * out_channels,
+                        element_bytes,
+                    ),
+                ],
+                stores=[
+                    MemoryAccess(
+                        "Out",
+                        total_pairs * out_channels,
+                        element_bytes,
+                        indirect=True,
+                        atomic=True,
+                    )
+                ],
+                flops=2.0 * total_pairs * in_channels * out_channels,
+                uses_tensor_core=True,
+                dtype=self.dtype,
+                compute_efficiency=self.SCHEDULED_COMPUTE_EFFICIENCY,
+                dram_efficiency=self.SCHEDULED_DRAM_EFFICIENCY,
+                description="manually scheduled fused gather-GEMM-scatter",
+            )
+        ]
+
+    def run(self, features: np.ndarray, weight: np.ndarray) -> BaselineResult:
+        output = self._compute(features, weight)
+        kernels = self._kernels(features, weight)
+        return BaselineResult(output=output, cost=estimate_total_time(kernels, self.device))

@@ -1,0 +1,100 @@
+"""Sputnik-style unstructured SpMM baseline (Figure 11, Table 1).
+
+Sputnik (Gale et al., SC'20) is ~2,000 lines of hand-written CUDA built
+around a row-swizzling strategy: rows are sorted by nonzero count and
+assigned to thread blocks so that warps process similarly-sized rows,
+largely removing the load imbalance that hurts plain row-split kernels on
+skewed matrices.  The permutation itself and the 1-D tiling add a small
+fixed overhead, so on well-balanced matrices Sputnik has no advantage.  Its
+public FP16 path only supports matrices with fewer than 2^16 rows, a
+limitation the paper points out; :meth:`run` enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.baselines.base import Baseline
+from repro.baselines.cusparse import _row_imbalance_factor
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+from repro.errors import ShapeError
+from repro.formats.csr import CSR
+
+#: Sputnik's FP16 kernels index rows with 16-bit ids.
+_FP16_MAX_ROWS = 2**16
+
+
+class SputnikSpMM(Baseline):
+    """Row-swizzled CSR SpMM (hand-written CUDA)."""
+
+    name = "Sputnik"
+    lines_of_code = 1918
+
+    HANDWRITTEN_COMPUTE_EFFICIENCY = 0.75
+    HANDWRITTEN_DRAM_EFFICIENCY = 0.80
+    #: Row swizzling removes most, but not all, of the raw imbalance.
+    IMBALANCE_MITIGATION = 0.05
+    #: Relative overhead of the row-permutation metadata and swizzled writes.
+    SWIZZLE_OVERHEAD = 0.10
+
+    def __init__(self, matrix: CSR, dtype: str = "fp32", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        if dtype == "fp16" and matrix.shape[0] >= _FP16_MAX_ROWS:
+            raise ShapeError(
+                f"Sputnik's FP16 path supports fewer than {_FP16_MAX_ROWS} rows; "
+                f"this matrix has {matrix.shape[0]}"
+            )
+        self.dtype = dtype
+        self.format = matrix
+        self.row_order = np.argsort(-matrix.row_occupancy(), kind="stable")
+        self._scipy = sp.csr_matrix(
+            (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+        )
+
+    def _compute(self, dense: np.ndarray) -> np.ndarray:
+        dense = np.asarray(dense)
+        # Row swizzling changes the processing order, not the result: compute
+        # in permuted order and scatter rows back, as the CUDA kernel does.
+        permuted = self._scipy[self.row_order] @ dense
+        output = np.empty_like(permuted)
+        output[self.row_order] = permuted
+        return np.asarray(output)
+
+    def _kernels(self, dense: np.ndarray) -> list[KernelSpec]:
+        dense = np.asarray(dense)
+        fmt = self.format
+        num_rows = fmt.shape[0]
+        num_cols = dense.shape[1]
+        nnz = fmt.nnz
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        imbalance = _row_imbalance_factor(fmt.row_occupancy(), self.IMBALANCE_MITIGATION)
+        imbalance *= 1.0 + self.SWIZZLE_OVERHEAD
+        return [
+            KernelSpec(
+                name="sputnik_spmm",
+                grid=max(1, num_rows // 4),
+                loads=[
+                    MemoryAccess("row_offsets", num_rows + 1, 4),
+                    MemoryAccess("row_indices", num_rows, 4),
+                    MemoryAccess("column_indices", nnz, 4),
+                    MemoryAccess("values", nnz, element_bytes),
+                    MemoryAccess(
+                        "B",
+                        nnz * num_cols,
+                        element_bytes,
+                        indirect=True,
+                        contiguous_elements=num_cols,
+                        unique_elements=dense.size,
+                    ),
+                ],
+                stores=[MemoryAccess("C", num_rows * num_cols, element_bytes)],
+                flops=2.0 * nnz * num_cols,
+                uses_tensor_core=False,
+                dtype=self.dtype,
+                compute_efficiency=self.HANDWRITTEN_COMPUTE_EFFICIENCY,
+                dram_efficiency=self.HANDWRITTEN_DRAM_EFFICIENCY,
+                imbalance=imbalance,
+                description="row-swizzled CSR SpMM (hand-written CUDA)",
+            )
+        ]

@@ -1,0 +1,162 @@
+"""TACO-style sparse compiler baseline (Table 3).
+
+TACO compiles an Einsum plus a format specification into nested-loop code.
+Its code generator targets CPUs first; the GPU schedule the paper's authors
+could write by hand after hours of effort still used neither shared memory
+nor Tensor Cores.  The consequences reproduced here:
+
+* **compilation is fast** — the loop nest is emitted directly, with no
+  autotuning (we measure the time to generate and ``compile()`` the
+  Python source of the loop nest);
+* **format conversion is fast** — a straightforward CSR-style build;
+* **the kernel is very slow** — scalar, uncoalesced gathers and no Tensor
+  Cores, modelled with correspondingly low efficiencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+from repro.core.triton_sim.profiler import estimate_total_time
+from repro.datasets.pointclouds import KernelMap
+from repro.errors import LoweringError
+from repro.utils.timing import Timer
+
+_GENERATED_TEMPLATE = '''
+import numpy as np
+
+def generated_spconv(features, weight, out_ptr, pair_inputs, pair_offsets, num_voxels):
+    """TACO-style generated kernel: per-output-row loop over its pairs."""
+    out_channels = weight.shape[2]
+    output = np.zeros((num_voxels, out_channels), dtype=features.dtype)
+    for row in range(num_voxels):
+        start, end = out_ptr[row], out_ptr[row + 1]
+        if start == end:
+            continue
+        gathered = features[pair_inputs[start:end]]
+        weights = weight[pair_offsets[start:end]]
+        output[row] = np.einsum("pc,pcm->m", gathered, weights)
+    return output
+'''
+
+
+class TacoSparseCompiler(Baseline):
+    """TACO-like compiler: fast compile and conversion, slow unscheduled kernel."""
+
+    name = "TACO"
+    lines_of_code = None
+    #: Size of the hand-written schedule the paper needed for TACO (Table 3).
+    schedule_lines_of_code = 10
+
+    UNSCHEDULED_COMPUTE_EFFICIENCY = 0.015
+    UNSCHEDULED_DRAM_EFFICIENCY = 0.20
+
+    def __init__(self, dtype: str = "fp16", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        self.dtype = dtype
+        self.compile_seconds: float | None = None
+        self.format_conversion_ms: float | None = None
+        self._kernel_fn = None
+        self._converted: dict[str, np.ndarray] | None = None
+        self._num_voxels = 0
+
+    # -- compilation ---------------------------------------------------------------
+    def compile(self) -> float:
+        """Generate and compile the loop-nest kernel; returns elapsed seconds."""
+        with Timer() as timer:
+            namespace: dict[str, object] = {}
+            code = compile(_GENERATED_TEMPLATE, "<taco_generated>", "exec")
+            exec(code, namespace)  # noqa: S102 - compiling our own generated source
+            self._kernel_fn = namespace["generated_spconv"]
+        self.compile_seconds = timer.elapsed
+        return timer.elapsed
+
+    # -- format conversion ------------------------------------------------------------
+    def convert(self, kernel_map: KernelMap) -> float:
+        """Convert the kernel map to the per-output-row (CSR-like) layout."""
+        with Timer() as timer:
+            outputs, inputs, offsets = [], [], []
+            for offset_index, pairs in enumerate(kernel_map.pairs):
+                if len(pairs) == 0:
+                    continue
+                outputs.append(pairs[:, 0])
+                inputs.append(pairs[:, 1])
+                offsets.append(np.full(len(pairs), offset_index, dtype=np.int64))
+            out = np.concatenate(outputs)
+            order = np.argsort(out, kind="stable")
+            out = out[order]
+            indptr = np.zeros(kernel_map.num_voxels + 1, dtype=np.int64)
+            np.add.at(indptr, out + 1, 1)
+            self._converted = {
+                "out_ptr": np.cumsum(indptr),
+                "pair_inputs": np.concatenate(inputs)[order],
+                "pair_offsets": np.concatenate(offsets)[order],
+            }
+            self._num_voxels = kernel_map.num_voxels
+        self.format_conversion_ms = timer.elapsed_ms
+        return timer.elapsed_ms
+
+    # -- execution ----------------------------------------------------------------------
+    def _compute(self, features: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        if self._kernel_fn is None or self._converted is None:
+            raise LoweringError("call compile() and convert() before run()")
+        return self._kernel_fn(
+            np.asarray(features),
+            np.asarray(weight),
+            self._converted["out_ptr"],
+            self._converted["pair_inputs"],
+            self._converted["pair_offsets"],
+            self._num_voxels,
+        )
+
+    def _kernels(self, features: np.ndarray, weight: np.ndarray) -> list[KernelSpec]:
+        if self._converted is None:
+            raise LoweringError("call convert() before modelling the kernel")
+        features = np.asarray(features)
+        weight = np.asarray(weight)
+        in_channels = weight.shape[1]
+        out_channels = weight.shape[2]
+        total_pairs = int(self._converted["pair_inputs"].shape[0])
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        return [
+            KernelSpec(
+                name="taco_generated_spconv",
+                grid=max(1, self._num_voxels // 32),
+                loads=[
+                    MemoryAccess("out_ptr", self._num_voxels + 1, 4),
+                    MemoryAccess("pair_inputs", total_pairs, 4),
+                    MemoryAccess("pair_offsets", total_pairs, 4),
+                    # Scalar, uncoalesced gathers: one element per request.
+                    MemoryAccess(
+                        "In",
+                        total_pairs * in_channels,
+                        element_bytes,
+                        indirect=True,
+                        contiguous_elements=1,
+                    ),
+                    MemoryAccess(
+                        "Weight",
+                        total_pairs * in_channels * out_channels,
+                        element_bytes,
+                        indirect=True,
+                        contiguous_elements=1,
+                    ),
+                ],
+                stores=[
+                    MemoryAccess("Out", self._num_voxels * out_channels, element_bytes)
+                ],
+                flops=2.0 * total_pairs * in_channels * out_channels,
+                uses_tensor_core=False,
+                dtype=self.dtype,
+                compute_efficiency=self.UNSCHEDULED_COMPUTE_EFFICIENCY,
+                dram_efficiency=self.UNSCHEDULED_DRAM_EFFICIENCY,
+                description="unscheduled loop nest, no shared memory, no Tensor Cores",
+            )
+        ]
+
+    def run(self, features: np.ndarray, weight: np.ndarray) -> BaselineResult:
+        output = self._compute(features, weight)
+        kernels = self._kernels(features, weight)
+        return BaselineResult(output=output, cost=estimate_total_time(kernels, self.device))

@@ -1,0 +1,157 @@
+"""TorchSparse-style sparse convolution baselines (Figure 12, Table 1).
+
+TorchSparse implements 3-D sparse convolution with two distinct CUDA code
+paths, which the paper labels Algo1 and Algo2:
+
+* **ImplicitGEMM** (Algo1): output voxels are processed as an implicit
+  GEMM over the full kernel volume with a validity mask; work is issued
+  for every (voxel, offset) slot whether or not a neighbour exists, so
+  Tensor Core utilisation is high but a fraction of the issued work is
+  masked out (wasted) on sparse neighbourhoods.
+* **Fetch-on-Demand** (Algo2): per kernel offset, only the existing pairs
+  are gathered, multiplied against that offset's weight slice, and
+  scattered back.  No wasted math, but one gather/GEMM/scatter round-trip
+  (and intermediate traffic) per offset and many smaller kernel launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess
+from repro.datasets.pointclouds import KernelMap
+
+
+class TorchSparseConv(Baseline):
+    """Hand-written sparse convolution engine with two algorithm variants."""
+
+    name = "TorchSparse"
+    lines_of_code = 4491
+
+    HANDWRITTEN_COMPUTE_EFFICIENCY = 0.78
+    HANDWRITTEN_DRAM_EFFICIENCY = 0.86
+
+    def __init__(self, kernel_map: KernelMap, algorithm: str = "implicit_gemm",
+                 dtype: str = "fp16", device=None):
+        super().__init__(**({"device": device} if device is not None else {}))
+        if algorithm not in ("implicit_gemm", "fetch_on_demand"):
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; use 'implicit_gemm' or 'fetch_on_demand'"
+            )
+        self.kernel_map = kernel_map
+        self.algorithm = algorithm
+        self.dtype = dtype
+        self.name = f"TorchSparse-{'Algo1' if algorithm == 'implicit_gemm' else 'Algo2'}"
+
+    # -- numerics (identical for both algorithms) ---------------------------------
+    def _compute(self, features: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        features = np.asarray(features)
+        weight = np.asarray(weight)
+        out_channels = weight.shape[2]
+        output = np.zeros((self.kernel_map.num_voxels, out_channels), dtype=features.dtype)
+        for offset_index, pairs in enumerate(self.kernel_map.pairs):
+            if len(pairs) == 0:
+                continue
+            gathered = features[pairs[:, 1]]
+            np.add.at(output, pairs[:, 0], gathered @ weight[offset_index])
+        return output
+
+    # -- cost model ------------------------------------------------------------------
+    def _kernels(self, features: np.ndarray, weight: np.ndarray) -> list[KernelSpec]:
+        features = np.asarray(features)
+        weight = np.asarray(weight)
+        in_channels = weight.shape[1]
+        out_channels = weight.shape[2]
+        element_bytes = 2 if self.dtype == "fp16" else 4
+        num_voxels = self.kernel_map.num_voxels
+        kernel_volume = self.kernel_map.kernel_volume
+        total_pairs = self.kernel_map.total_pairs
+
+        if self.algorithm == "implicit_gemm":
+            # Work is issued for every (voxel, offset) slot; the mask makes
+            # the memory traffic proportional to the existing pairs but the
+            # MMA work proportional to the dense kernel volume, discounted
+            # by the sorted-masking optimisation of TorchSparse++.
+            # The sorted/bitmask optimisation skips most empty slots, but the
+            # MMA tiles still execute a fixed overhead of masked lanes on top
+            # of the useful work.
+            occupancy_fraction = total_pairs / max(1, num_voxels * kernel_volume)
+            masked_utilization = min(1.0, 0.08 + 1.6 * occupancy_fraction)
+            issued_flops = 2.0 * num_voxels * kernel_volume * in_channels * out_channels
+            flops = issued_flops * masked_utilization
+            return [
+                KernelSpec(
+                    name="torchsparse_implicit_gemm",
+                    grid=max(1, num_voxels // 64),
+                    loads=[
+                        MemoryAccess("kmap", num_voxels * kernel_volume, 4),
+                        MemoryAccess(
+                            "In",
+                            total_pairs * in_channels,
+                            element_bytes,
+                            indirect=True,
+                            contiguous_elements=in_channels,
+                            unique_elements=num_voxels * in_channels,
+                        ),
+                        MemoryAccess(
+                            "Weight", kernel_volume * in_channels * out_channels, element_bytes
+                        ),
+                    ],
+                    stores=[MemoryAccess("Out", num_voxels * out_channels, element_bytes)],
+                    flops=flops,
+                    uses_tensor_core=True,
+                    dtype=self.dtype,
+                    compute_efficiency=self.HANDWRITTEN_COMPUTE_EFFICIENCY,
+                    dram_efficiency=self.HANDWRITTEN_DRAM_EFFICIENCY,
+                    description="masked implicit GEMM over the full kernel volume",
+                )
+            ]
+
+        # Fetch-on-Demand: per-offset fused gather / GEMM / scatter kernels in
+        # which the gathered features stay on-chip (they are fetched "on
+        # demand" into shared memory).  The offsets are batched into a handful
+        # of launches via CUDA streams; efficiency is a little below the
+        # single autotuned fused kernel, and the per-offset GEMMs are smaller.
+        launch_batches = 8
+        kernels: list[KernelSpec] = []
+        pairs_per_batch = max(1, total_pairs // launch_batches)
+        for batch_index in range(launch_batches):
+            kernels.append(
+                KernelSpec(
+                    name=f"torchsparse_fod_batch{batch_index}",
+                    grid=max(1, pairs_per_batch // 128),
+                    loads=[
+                        MemoryAccess("pairs", pairs_per_batch * 2, 4),
+                        MemoryAccess(
+                            "In",
+                            pairs_per_batch * in_channels,
+                            element_bytes,
+                            indirect=True,
+                            contiguous_elements=in_channels,
+                            unique_elements=num_voxels * in_channels / launch_batches,
+                        ),
+                        MemoryAccess(
+                            "Weight",
+                            kernel_volume * in_channels * out_channels / launch_batches,
+                            element_bytes,
+                        ),
+                    ],
+                    stores=[
+                        MemoryAccess(
+                            "Out",
+                            pairs_per_batch * out_channels,
+                            element_bytes,
+                            indirect=True,
+                            atomic=True,
+                        )
+                    ],
+                    flops=2.0 * pairs_per_batch * in_channels * out_channels,
+                    uses_tensor_core=True,
+                    dtype=self.dtype,
+                    compute_efficiency=0.62,
+                    dram_efficiency=self.HANDWRITTEN_DRAM_EFFICIENCY,
+                    description="per-offset fused gather-GEMM-scatter batch",
+                )
+            )
+        return kernels

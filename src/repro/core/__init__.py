@@ -1,0 +1,1 @@
+"""Core contribution: the indirect-Einsum language and the Insum compiler."""

@@ -1,0 +1,43 @@
+"""The indirect-Einsum language: lexer, AST, parser, validation, rewriting.
+
+An *indirect Einsum* extends classic Einsum notation by allowing tensor
+accesses to appear inside the index expressions of other tensors, e.g.::
+
+    C[AM[p], n] += AV[p] * B[AK[p], n]
+
+which expresses COO SpMM: gather rows of ``B`` at the column coordinates
+``AK``, multiply by the nonzero values ``AV``, and scatter-add into the rows
+of ``C`` selected by ``AM`` (Section 3 of the paper).
+"""
+
+from repro.core.einsum.ast import (
+    EinsumStatement,
+    IndexExpr,
+    IndexVar,
+    IntLiteral,
+    Product,
+    TensorAccess,
+)
+from repro.core.einsum.lexer import Token, TokenKind, tokenize
+from repro.core.einsum.parser import parse_einsum
+from repro.core.einsum.validation import ProgramInfo, validate
+from repro.core.einsum.reference import reference_execute
+from repro.core.einsum.rewriting import RewriteResult, rewrite_sparse_operand
+
+__all__ = [
+    "EinsumStatement",
+    "IndexExpr",
+    "IndexVar",
+    "IntLiteral",
+    "Product",
+    "TensorAccess",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_einsum",
+    "ProgramInfo",
+    "validate",
+    "reference_execute",
+    "RewriteResult",
+    "rewrite_sparse_operand",
+]

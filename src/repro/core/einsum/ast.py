@@ -1,0 +1,171 @@
+"""Abstract syntax tree for indirect-Einsum statements.
+
+The AST is deliberately small.  A statement has the shape::
+
+    TensorAccess (+= | =) TensorAccess * TensorAccess * ...
+
+where each index of a :class:`TensorAccess` is either a plain index
+variable, an integer literal, or another (possibly nested) tensor access —
+the *indirect* part of an indirect Einsum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class IndexVar:
+    """A plain index variable such as ``m``, ``n``, ``p`` or ``q``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLiteral:
+    """A constant index, e.g. ``A[0, k]``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """An access ``T[idx0, idx1, ...]`` (or a bare scalar name ``T``).
+
+    Indices may themselves be tensor accesses, which is what makes the
+    Einsum *indirect*: ``B[AK[p], n]`` gathers rows of ``B`` at positions
+    given by the values of ``AK``.
+    """
+
+    tensor: str
+    indices: tuple["IndexExpr", ...] = ()
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return self.tensor
+        inner = ",".join(str(ix) for ix in self.indices)
+        return f"{self.tensor}[{inner}]"
+
+    @property
+    def ndim(self) -> int:
+        """Number of index positions in this access."""
+        return len(self.indices)
+
+    @property
+    def is_direct(self) -> bool:
+        """True if every index is a plain variable or literal (no gathers)."""
+        return all(isinstance(ix, (IndexVar, IntLiteral)) for ix in self.indices)
+
+    def index_vars(self) -> list[IndexVar]:
+        """All index variables appearing anywhere in this access, in order."""
+        out: list[IndexVar] = []
+        for ix in self.indices:
+            if isinstance(ix, IndexVar):
+                out.append(ix)
+            elif isinstance(ix, TensorAccess):
+                out.extend(ix.index_vars())
+        return out
+
+    def nested_accesses(self) -> list["TensorAccess"]:
+        """All tensor accesses used as indices (recursively), outermost first."""
+        out: list[TensorAccess] = []
+        for ix in self.indices:
+            if isinstance(ix, TensorAccess):
+                out.append(ix)
+                out.extend(ix.nested_accesses())
+        return out
+
+
+IndexExpr = Union[IndexVar, IntLiteral, TensorAccess]
+
+
+@dataclass(frozen=True)
+class Product:
+    """A product of tensor accesses: the right-hand side of a statement."""
+
+    factors: tuple[TensorAccess, ...]
+
+    def __str__(self) -> str:
+        return " * ".join(str(f) for f in self.factors)
+
+    def __iter__(self) -> Iterator[TensorAccess]:
+        return iter(self.factors)
+
+    def index_vars(self) -> list[IndexVar]:
+        """All index variables on the right-hand side, in appearance order."""
+        out: list[IndexVar] = []
+        for factor in self.factors:
+            out.extend(factor.index_vars())
+        return out
+
+
+@dataclass(frozen=True)
+class EinsumStatement:
+    """A full indirect-Einsum statement ``lhs (+=|=) rhs``.
+
+    ``accumulate`` is True for ``+=``.  With ``=`` the output is treated as
+    freshly zero-initialised before the scatter; with ``+=`` existing output
+    values are kept.  In both cases multiple iterations writing the same
+    output location are resolved by summation, matching the operational
+    semantics of Einsums in the paper (Section 3.1).
+    """
+
+    lhs: TensorAccess
+    rhs: Product
+    accumulate: bool
+
+    def __str__(self) -> str:
+        op = "+=" if self.accumulate else "="
+        return f"{self.lhs} {op} {self.rhs}"
+
+    def all_accesses(self) -> list[TensorAccess]:
+        """Every top-level access: the output followed by each RHS factor."""
+        return [self.lhs, *self.rhs.factors]
+
+    def tensor_names(self) -> list[str]:
+        """Names of all tensors referenced, including metadata tensors."""
+        names: list[str] = []
+
+        def visit(access: TensorAccess) -> None:
+            if access.tensor not in names:
+                names.append(access.tensor)
+            for nested in access.nested_accesses():
+                if nested.tensor not in names:
+                    names.append(nested.tensor)
+
+        for access in self.all_accesses():
+            visit(access)
+        return names
+
+    def index_var_names(self) -> list[str]:
+        """Names of all index variables, in first-appearance order."""
+        names: list[str] = []
+        for access in self.all_accesses():
+            for var in access.index_vars():
+                if var.name not in names:
+                    names.append(var.name)
+        return names
+
+    def output_index_vars(self) -> list[str]:
+        """Index variables appearing (directly or indirectly) on the LHS."""
+        names: list[str] = []
+        for var in self.lhs.index_vars():
+            if var.name not in names:
+                names.append(var.name)
+        return names
+
+    def reduction_index_vars(self) -> list[str]:
+        """Index variables appearing only on the RHS (summed over)."""
+        lhs_vars = set(self.output_index_vars())
+        names: list[str] = []
+        for var in self.rhs.index_vars():
+            if var.name not in lhs_vars and var.name not in names:
+                names.append(var.name)
+        return names

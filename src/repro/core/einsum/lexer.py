@@ -1,0 +1,116 @@
+"""Tokenizer for indirect-Einsum expression strings."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import EinsumSyntaxError
+
+
+class TokenKind(enum.Enum):
+    """Kinds of tokens produced by :func:`tokenize`."""
+
+    NAME = "name"
+    INT = "int"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    STAR = "*"
+    PLUS_EQUALS = "+="
+    EQUALS = "="
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The token category.
+    text:
+        The exact source text of the token.
+    position:
+        Character offset of the token in the original expression string,
+        used for error messages that point at the offending character.
+    """
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, pos={self.position})"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize an indirect-Einsum expression string.
+
+    Parameters
+    ----------
+    text:
+        Expression such as ``"C[AM[p],n] += AV[p] * B[AK[p],n]"``.
+
+    Returns
+    -------
+    list[Token]
+        Tokens ending with a sentinel ``END`` token.
+
+    Raises
+    ------
+    EinsumSyntaxError
+        If an unexpected character is encountered.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenKind.LBRACKET, ch, i))
+            i += 1
+        elif ch == "]":
+            tokens.append(Token(TokenKind.RBRACKET, ch, i))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, i))
+            i += 1
+        elif ch == "*":
+            tokens.append(Token(TokenKind.STAR, ch, i))
+            i += 1
+        elif ch == "+":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(TokenKind.PLUS_EQUALS, "+=", i))
+                i += 2
+            else:
+                raise EinsumSyntaxError("expected '=' after '+'", text, i)
+        elif ch == "=":
+            tokens.append(Token(TokenKind.EQUALS, ch, i))
+            i += 1
+        elif ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token(TokenKind.INT, text[start:i], start))
+        elif _is_name_start(ch):
+            start = i
+            while i < n and _is_name_char(text[i]):
+                i += 1
+            tokens.append(Token(TokenKind.NAME, text[start:i], start))
+        else:
+            raise EinsumSyntaxError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

@@ -1,0 +1,127 @@
+"""Recursive-descent parser for indirect-Einsum expression strings.
+
+Grammar (whitespace insignificant)::
+
+    statement := access ("+=" | "=") product
+    product   := access ("*" access)*
+    access    := NAME [ "[" index ("," index)* "]" ]
+    index     := access | INT
+
+Note that ``index := access`` is what permits indirect indexing, including
+nested indirection such as ``A[B[C[i]]]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.einsum.ast import (
+    EinsumStatement,
+    IndexExpr,
+    IndexVar,
+    IntLiteral,
+    Product,
+    TensorAccess,
+)
+from repro.core.einsum.lexer import Token, TokenKind, tokenize
+from repro.errors import EinsumSyntaxError
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[Token] = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise EinsumSyntaxError(
+                f"expected {kind.value!r} but found {token.text or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    # -- grammar productions ----------------------------------------------
+    def parse_statement(self) -> EinsumStatement:
+        lhs = self.parse_access()
+        op = self.peek()
+        if op.kind is TokenKind.PLUS_EQUALS:
+            accumulate = True
+            self.advance()
+        elif op.kind is TokenKind.EQUALS:
+            accumulate = False
+            self.advance()
+        else:
+            raise EinsumSyntaxError(
+                "expected '=' or '+=' after the output access", self.text, op.position
+            )
+        rhs = self.parse_product()
+        end = self.peek()
+        if end.kind is not TokenKind.END:
+            raise EinsumSyntaxError(
+                f"unexpected trailing input {end.text!r}", self.text, end.position
+            )
+        return EinsumStatement(lhs=lhs, rhs=rhs, accumulate=accumulate)
+
+    def parse_product(self) -> Product:
+        factors = [self.parse_access()]
+        while self.peek().kind is TokenKind.STAR:
+            self.advance()
+            factors.append(self.parse_access())
+        return Product(factors=tuple(factors))
+
+    def parse_access(self) -> TensorAccess:
+        name_token = self.expect(TokenKind.NAME)
+        if self.peek().kind is not TokenKind.LBRACKET:
+            return TensorAccess(tensor=name_token.text, indices=())
+        self.advance()  # consume '['
+        indices: list[IndexExpr] = [self.parse_index()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            indices.append(self.parse_index())
+        self.expect(TokenKind.RBRACKET)
+        return TensorAccess(tensor=name_token.text, indices=tuple(indices))
+
+    def parse_index(self) -> IndexExpr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return IntLiteral(value=int(token.text))
+        if token.kind is TokenKind.NAME:
+            access = self.parse_access()
+            if not access.indices:
+                return IndexVar(name=access.tensor)
+            return access
+        raise EinsumSyntaxError(
+            f"expected an index expression, found {token.text or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+
+def parse_einsum(text: str) -> EinsumStatement:
+    """Parse an indirect-Einsum statement string into an AST.
+
+    Example
+    -------
+    >>> stmt = parse_einsum("C[AM[p],n] += AV[p] * B[AK[p],n]")
+    >>> str(stmt)
+    'C[AM[p],n] += AV[p] * B[AK[p],n]'
+    """
+    if not isinstance(text, str):
+        raise EinsumSyntaxError(f"expression must be a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not stripped:
+        raise EinsumSyntaxError("expression string is empty")
+    return _Parser(stripped).parse_statement()

@@ -1,0 +1,92 @@
+"""A slow but obviously-correct interpreter for indirect Einsums.
+
+This executes the operational semantics of Section 3.1 literally: iterate
+over the Cartesian product of all index-variable extents, evaluate the
+right-hand side product at each point, and accumulate it into the output
+location named by the left-hand side.  Every optimised path in the compiler
+is tested against this reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.einsum.ast import (
+    EinsumStatement,
+    IndexVar,
+    IntLiteral,
+    TensorAccess,
+)
+from repro.core.einsum.parser import parse_einsum
+from repro.core.einsum.validation import ProgramInfo, validate
+
+
+def _resolve_index(index, env: dict[str, int], tensors: dict[str, np.ndarray]) -> int:
+    """Evaluate a single index expression at one point of the loop nest."""
+    if isinstance(index, IndexVar):
+        return env[index.name]
+    if isinstance(index, IntLiteral):
+        return index.value
+    if isinstance(index, TensorAccess):
+        coords = tuple(_resolve_index(ix, env, tensors) for ix in index.indices)
+        return int(tensors[index.tensor][coords])
+    raise TypeError(f"unexpected index expression: {index!r}")
+
+
+def _resolve_access(
+    access: TensorAccess, env: dict[str, int], tensors: dict[str, np.ndarray]
+) -> tuple[int, ...]:
+    """Coordinates of a tensor access at one point of the loop nest."""
+    return tuple(_resolve_index(ix, env, tensors) for ix in access.indices)
+
+
+def reference_execute(
+    expression: str | EinsumStatement,
+    tensors: dict[str, np.ndarray],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Execute an indirect Einsum with nested Python loops.
+
+    Parameters
+    ----------
+    expression:
+        Expression string or already-parsed statement.
+    tensors:
+        Mapping of tensor names to NumPy arrays.  The output tensor must be
+        bound (its shape defines the scatter target).
+    out:
+        Optional explicit output array.  If omitted, the bound output tensor
+        is copied (for ``+=``) or zeroed (for ``=``) before accumulation so
+        the caller's array is never mutated.
+
+    Returns
+    -------
+    np.ndarray
+        The accumulated output.
+    """
+    statement = expression if isinstance(expression, EinsumStatement) else parse_einsum(expression)
+    arrays = {name: np.asarray(value) for name, value in tensors.items()}
+    info: ProgramInfo = validate(statement, arrays)
+
+    bound_output = arrays[info.output_name]
+    if out is None:
+        if statement.accumulate:
+            result = np.array(bound_output, dtype=np.float64, copy=True)
+        else:
+            result = np.zeros(bound_output.shape, dtype=np.float64)
+    else:
+        result = out
+
+    loop_vars = info.loop_vars
+    ranges = [range(info.extents[v]) for v in loop_vars]
+    for point in itertools.product(*ranges):
+        env = dict(zip(loop_vars, point))
+        value = 1.0
+        for factor in statement.rhs.factors:
+            coords = _resolve_access(factor, env, arrays)
+            value *= float(arrays[factor.tensor][coords])
+        out_coords = _resolve_access(statement.lhs, env, arrays)
+        result[out_coords] += value
+    return result

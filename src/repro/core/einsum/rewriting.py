@@ -1,0 +1,254 @@
+"""Rewriting format-agnostic Einsums into format-conscious indirect Einsums.
+
+This module implements the paper's core idea (Section 3): starting from a
+format-agnostic Einsum over a sparse tensor, e.g.::
+
+    C[m,n] += A[m,k] * B[k,n]        # A is sparse
+
+and a description of how the sparse operand is stored, rewrite the
+statement into an *indirect* Einsum that operates entirely over the dense
+data and metadata arrays of the format, e.g. for COO::
+
+    C[AM[p],n] += AV[p] * B[AK[p],n]
+
+The format-specific knowledge (what the value tensor looks like and how
+each original index variable maps onto metadata accesses) is provided by
+the sparse-format classes in :mod:`repro.formats`; this module contains the
+generic substitution machinery shared by all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.einsum.ast import (
+    EinsumStatement,
+    IndexExpr,
+    IndexVar,
+    IntLiteral,
+    Product,
+    TensorAccess,
+)
+from repro.core.einsum.parser import parse_einsum
+from repro.errors import EinsumValidationError
+
+
+@dataclass(frozen=True)
+class IndexSubstitution:
+    """How one original index variable is replaced after the rewrite.
+
+    Attributes
+    ----------
+    exprs:
+        Replacement index expressions.  A single expression for ordinary
+        substitutions (e.g. ``k -> AK[p]``) or several for block formats
+        where one index splits into a block coordinate and an intra-block
+        coordinate (e.g. ``k -> (AK[p], bk)``).
+    split_sizes:
+        When ``len(exprs) > 1``, the sizes of the split parts.  Any dense
+        tensor that used the original variable must be viewed with the
+        corresponding axis split into these sizes.
+    """
+
+    exprs: tuple[IndexExpr, ...]
+    split_sizes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.exprs) == 0:
+            raise EinsumValidationError("an index substitution needs at least one expression")
+        if len(self.exprs) > 1 and (
+            self.split_sizes is None or len(self.split_sizes) != len(self.exprs)
+        ):
+            raise EinsumValidationError(
+                "a splitting substitution must provide one split size per expression"
+            )
+
+
+@dataclass
+class OperandRewrite:
+    """Format-specific description of how to rewrite one sparse operand.
+
+    Produced by the ``rewrite_plan`` method of the sparse-format classes.
+
+    Attributes
+    ----------
+    operand:
+        Name of the sparse tensor in the original (format-agnostic) Einsum.
+    value_access:
+        Access that replaces the sparse operand, e.g. ``AV[p, q, bm, bk]``.
+    substitutions:
+        Replacement for each original index variable of the sparse operand,
+        applied everywhere those variables appear in the statement.
+    tensors:
+        The data and metadata arrays introduced by the rewrite (values,
+        coordinate arrays, ...), keyed by the names used in the new Einsum.
+    """
+
+    operand: str
+    value_access: TensorAccess
+    substitutions: dict[str, IndexSubstitution]
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of a format-conscious rewrite.
+
+    Attributes
+    ----------
+    statement / expression:
+        The rewritten indirect-Einsum statement (AST and string forms).
+    tensors:
+        Metadata and value tensors to merge into the user's bindings.
+    reshapes:
+        New shapes for dense tensors whose axes were split by a block
+        format (``{"B": (128, 32, 256)}`` means ``B`` must be viewed with
+        that shape before executing the rewritten Einsum).
+    output_reshape:
+        New shape for the output tensor, if it was split; ``None`` otherwise.
+    """
+
+    statement: EinsumStatement
+    expression: str
+    tensors: dict[str, np.ndarray]
+    reshapes: dict[str, tuple[int, ...]]
+    output_reshape: tuple[int, ...] | None = None
+
+
+def _substitute_in_access(
+    access: TensorAccess,
+    substitutions: dict[str, IndexSubstitution],
+) -> tuple[TensorAccess, list[tuple[int, tuple[int, ...]]]]:
+    """Apply substitutions to one access.
+
+    Returns the rewritten access and a list of ``(axis, split_sizes)`` pairs
+    describing axes of the underlying tensor that must be split into
+    multiple view axes.
+    """
+    new_indices: list[IndexExpr] = []
+    splits: list[tuple[int, tuple[int, ...]]] = []
+    for axis, index in enumerate(access.indices):
+        if isinstance(index, IndexVar) and index.name in substitutions:
+            sub = substitutions[index.name]
+            new_indices.extend(sub.exprs)
+            if len(sub.exprs) > 1:
+                assert sub.split_sizes is not None
+                splits.append((axis, sub.split_sizes))
+        elif isinstance(index, TensorAccess):
+            rewritten, nested_splits = _substitute_in_access(index, substitutions)
+            if nested_splits:
+                raise EinsumValidationError(
+                    f"cannot split an index used inside the indirect access {index}"
+                )
+            new_indices.append(rewritten)
+        else:
+            new_indices.append(index)
+    return TensorAccess(tensor=access.tensor, indices=tuple(new_indices)), splits
+
+
+def _split_shape(
+    shape: tuple[int, ...], splits: list[tuple[int, tuple[int, ...]]], name: str
+) -> tuple[int, ...]:
+    """Compute the view shape after splitting the given axes."""
+    new_shape: list[int] = []
+    split_map = dict(splits)
+    for axis, dim in enumerate(shape):
+        if axis in split_map:
+            sizes = split_map[axis]
+            expected = 1
+            for size in sizes:
+                expected *= size
+            if expected != dim:
+                raise EinsumValidationError(
+                    f"axis {axis} of tensor {name!r} has size {dim}, which cannot be viewed "
+                    f"as blocks of shape {sizes}"
+                )
+            new_shape.extend(sizes)
+        else:
+            new_shape.append(dim)
+    return tuple(new_shape)
+
+
+def rewrite_sparse_operand(
+    expression: str | EinsumStatement,
+    rewrite: OperandRewrite,
+    tensor_shapes: dict[str, tuple[int, ...]] | None = None,
+) -> RewriteResult:
+    """Rewrite a format-agnostic Einsum for one sparse operand.
+
+    Parameters
+    ----------
+    expression:
+        The format-agnostic Einsum, e.g. ``"C[m,n] += A[m,k] * B[k,n]"``.
+    rewrite:
+        Format-specific rewrite plan for the sparse operand (usually built
+        by ``SparseFormat.rewrite_plan``).
+    tensor_shapes:
+        Shapes of the other tensors appearing in the statement.  Required
+        whenever the rewrite splits an index variable (block formats), so
+        the affected tensors' view shapes can be computed.
+
+    Returns
+    -------
+    RewriteResult
+    """
+    statement = expression if isinstance(expression, EinsumStatement) else parse_einsum(expression)
+    shapes = dict(tensor_shapes or {})
+
+    factor_names = [f.tensor for f in statement.rhs.factors]
+    if rewrite.operand not in factor_names:
+        raise EinsumValidationError(
+            f"sparse operand {rewrite.operand!r} does not appear on the right-hand side of "
+            f"{statement}"
+        )
+
+    operand_access = next(f for f in statement.rhs.factors if f.tensor == rewrite.operand)
+    operand_vars = {v.name for v in operand_access.index_vars()}
+    unknown = [name for name in rewrite.substitutions if name not in operand_vars]
+    if unknown:
+        raise EinsumValidationError(
+            f"substitutions refer to index variables {unknown} that do not index the sparse "
+            f"operand {rewrite.operand!r}"
+        )
+
+    reshapes: dict[str, tuple[int, ...]] = {}
+    output_reshape: tuple[int, ...] | None = None
+
+    def rewrite_dense_access(access: TensorAccess) -> TensorAccess:
+        nonlocal output_reshape
+        new_access, splits = _substitute_in_access(access, rewrite.substitutions)
+        if splits:
+            if access.tensor not in shapes:
+                raise EinsumValidationError(
+                    f"tensor {access.tensor!r} needs its shape to compute a blocked view, but no "
+                    f"shape was provided"
+                )
+            new_shape = _split_shape(shapes[access.tensor], splits, access.tensor)
+            if access.tensor == statement.lhs.tensor:
+                output_reshape = new_shape
+            else:
+                reshapes[access.tensor] = new_shape
+        return new_access
+
+    new_lhs = rewrite_dense_access(statement.lhs)
+    new_factors: list[TensorAccess] = []
+    for factor in statement.rhs.factors:
+        if factor.tensor == rewrite.operand:
+            new_factors.append(rewrite.value_access)
+        else:
+            new_factors.append(rewrite_dense_access(factor))
+
+    new_statement = EinsumStatement(
+        lhs=new_lhs,
+        rhs=Product(factors=tuple(new_factors)),
+        accumulate=statement.accumulate,
+    )
+    return RewriteResult(
+        statement=new_statement,
+        expression=str(new_statement),
+        tensors=dict(rewrite.tensors),
+        reshapes=reshapes,
+        output_reshape=output_reshape,
+    )

@@ -1,0 +1,23 @@
+"""An FX-like functional graph IR with a NumPy interpreter.
+
+This plays the role of the PyTorch FX graph in the paper's pipeline
+(Section 5.1): the Insum frontend lowers an indirect Einsum into a graph of
+``index_select`` / ``einsum`` / ``index_add`` style operations, which is
+then consumed by the Inductor-like backend in :mod:`repro.core.inductor`.
+"""
+
+from repro.core.fx.graph import Graph, GraphModule, Node
+from repro.core.fx.interpreter import Interpreter
+from repro.core.fx.ops import OpDef, OpCategory, get_op, register_op, OPS
+
+__all__ = [
+    "Graph",
+    "GraphModule",
+    "Node",
+    "Interpreter",
+    "OpDef",
+    "OpCategory",
+    "get_op",
+    "register_op",
+    "OPS",
+]

@@ -1,0 +1,58 @@
+"""Reference interpreter for the FX-like graph IR."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.fx.graph import Graph, Node
+from repro.core.fx.ops import get_op
+from repro.errors import FXGraphError
+
+
+class Interpreter:
+    """Executes a graph node by node on NumPy inputs.
+
+    This is the unfused execution model: every node materialises its full
+    result, exactly like running the PyTorch program eagerly.  The
+    Inductor-like backend exists to do better; this interpreter provides
+    the semantics both are tested against.
+    """
+
+    def __init__(self, graph: Graph):
+        graph.validate()
+        self.graph = graph
+
+    def run(self, **tensors: np.ndarray) -> Any:
+        """Execute the graph with the given named input tensors."""
+        env: dict[int, Any] = {}
+        for node in self.graph.nodes:
+            env[id(node)] = self._run_node(node, env, tensors)
+            if node.op == "output":
+                return env[id(node)]
+        raise FXGraphError("graph has no output node")
+
+    # -- node execution -------------------------------------------------------
+    def _run_node(self, node: Node, env: dict[int, Any], tensors: dict[str, np.ndarray]) -> Any:
+        if node.op == "placeholder":
+            if node.target not in tensors:
+                raise FXGraphError(f"missing input tensor {node.target!r}")
+            return np.asarray(tensors[node.target])
+        if node.op == "output":
+            return self._materialize(node.args[0], env)
+        if node.op == "call_function":
+            op = get_op(node.target)
+            args = tuple(self._materialize(a, env) for a in node.args)
+            kwargs = {k: self._materialize(v, env) for k, v in node.kwargs.items()}
+            return op.fn(*args, **kwargs)
+        raise FXGraphError(f"unknown node kind {node.op!r}")
+
+    def _materialize(self, value: Any, env: dict[int, Any]) -> Any:
+        if isinstance(value, Node):
+            return env[id(value)]
+        if isinstance(value, list):
+            return [self._materialize(v, env) for v in value]
+        if isinstance(value, tuple):
+            return tuple(self._materialize(v, env) for v in value)
+        return value

@@ -1,0 +1,187 @@
+"""Operator library for the FX-like graph IR.
+
+Each operator has a NumPy implementation (for correctness) and a category
+(used by the Inductor-like backend to decide what may be fused and what
+maps onto Tensor Cores).  The names deliberately mirror the PyTorch
+primitives the paper's Insum compiler emits: ``index_select``, ``einsum``,
+``index_add``, plus a handful of pointwise/shape helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import FXGraphError
+
+
+class OpCategory(enum.Enum):
+    """Coarse operator classes used by fusion and device-mapping decisions."""
+
+    POINTWISE = "pointwise"
+    REDUCTION = "reduction"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    CONTRACTION = "contraction"
+    SHAPE = "shape"
+    CREATION = "creation"
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Definition of one graph operator."""
+
+    name: str
+    fn: Callable
+    category: OpCategory
+    doc: str = ""
+
+
+OPS: dict[str, OpDef] = {}
+
+
+def register_op(name: str, category: OpCategory, doc: str = "") -> Callable:
+    """Decorator registering a NumPy implementation as a graph operator."""
+
+    def decorate(fn: Callable) -> Callable:
+        if name in OPS:
+            raise FXGraphError(f"operator {name!r} registered twice")
+        OPS[name] = OpDef(name=name, fn=fn, category=category, doc=doc or fn.__doc__ or "")
+        return fn
+
+    return decorate
+
+
+def get_op(name: str) -> OpDef:
+    """Look up an operator definition by name."""
+    try:
+        return OPS[name]
+    except KeyError:
+        raise FXGraphError(f"unknown operator {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Gather-style operators
+# ---------------------------------------------------------------------------
+@register_op("index_select", OpCategory.GATHER, "Gather slices of x along dim at positions index.")
+def index_select(x: np.ndarray, dim: int, index: np.ndarray) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise FXGraphError(f"index_select expects a 1-D index, got shape {index.shape}")
+    return np.take(x, index, axis=dim)
+
+
+@register_op(
+    "coord_gather",
+    OpCategory.GATHER,
+    "General multi-axis gather: x[idx0, idx1, ...] with broadcasting index arrays.",
+)
+def coord_gather(x: np.ndarray, indices: Sequence[np.ndarray | None]) -> np.ndarray:
+    """Advanced-indexing gather.
+
+    ``indices`` has one entry per axis of ``x``: an integer array to gather
+    that axis, or ``None`` to keep it (a full slice).  Index arrays must be
+    mutually broadcastable; the gathered axes are replaced by the broadcast
+    shape, in the position of the first gathered axis.
+    """
+    key = tuple(slice(None) if ix is None else np.asarray(ix) for ix in indices)
+    return x[key]
+
+
+@register_op("select", OpCategory.SHAPE, "Select one slice of x at a constant index.")
+def select(x: np.ndarray, dim: int, index: int) -> np.ndarray:
+    return np.take(x, int(index), axis=dim)
+
+
+# ---------------------------------------------------------------------------
+# Contraction and reduction operators
+# ---------------------------------------------------------------------------
+@register_op("einsum", OpCategory.CONTRACTION, "Dense Einstein summation over the operands.")
+def einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
+    return np.einsum(equation, *operands, optimize=True)
+
+
+@register_op("sum", OpCategory.REDUCTION, "Sum-reduce over the given axes.")
+def reduce_sum(x: np.ndarray, dims: Sequence[int] | int) -> np.ndarray:
+    axis = tuple(dims) if isinstance(dims, (list, tuple)) else int(dims)
+    return np.sum(x, axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise operators
+# ---------------------------------------------------------------------------
+@register_op("mul", OpCategory.POINTWISE, "Elementwise (broadcasting) multiplication.")
+def mul(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.multiply(x, y)
+
+
+@register_op("add", OpCategory.POINTWISE, "Elementwise (broadcasting) addition.")
+def add(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.add(x, y)
+
+
+# ---------------------------------------------------------------------------
+# Shape operators
+# ---------------------------------------------------------------------------
+@register_op("reshape", OpCategory.SHAPE, "Reshape to the given shape (a view when possible).")
+def reshape(x: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    return np.reshape(x, tuple(shape))
+
+
+@register_op("unsqueeze", OpCategory.SHAPE, "Insert a length-1 axis at the given position.")
+def unsqueeze(x: np.ndarray, dim: int) -> np.ndarray:
+    return np.expand_dims(x, dim)
+
+
+@register_op("transpose", OpCategory.SHAPE, "Permute axes.")
+def transpose(x: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+    return np.transpose(x, tuple(perm))
+
+
+# ---------------------------------------------------------------------------
+# Scatter-style operators
+# ---------------------------------------------------------------------------
+@register_op(
+    "index_add",
+    OpCategory.SCATTER,
+    "Functional torch.index_add_: out + scatter-add of source along dim at index.",
+)
+def index_add(out: np.ndarray, dim: int, index: np.ndarray, source: np.ndarray) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise FXGraphError(f"index_add expects a 1-D index, got shape {index.shape}")
+    result = np.array(out, dtype=np.result_type(out, source), copy=True)
+    moved_result = np.moveaxis(result, dim, 0)
+    moved_source = np.moveaxis(source, dim, 0)
+    np.add.at(moved_result, index, moved_source)
+    return result
+
+
+@register_op(
+    "scatter_add_coords",
+    OpCategory.SCATTER,
+    "General scatter-add: out[idx0, idx1, ...] += source with broadcasting indices.",
+)
+def scatter_add_coords(
+    out: np.ndarray, indices: Sequence[np.ndarray | None], source: np.ndarray
+) -> np.ndarray:
+    result = np.array(out, dtype=np.result_type(out, source), copy=True)
+    key = tuple(slice(None) if ix is None else np.asarray(ix) for ix in indices)
+    np.add.at(result, key, source)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Creation operators
+# ---------------------------------------------------------------------------
+@register_op("zeros", OpCategory.CREATION, "A zero-filled tensor of the given shape.")
+def zeros(shape: Sequence[int], dtype=np.float64) -> np.ndarray:
+    return np.zeros(tuple(shape), dtype=dtype)
+
+
+@register_op("clone", OpCategory.CREATION, "Copy a tensor (used to keep inputs immutable).")
+def clone(x: np.ndarray) -> np.ndarray:
+    return np.array(x, copy=True)

@@ -1,0 +1,28 @@
+"""Simulated Triton kernels and GPU device model.
+
+The paper evaluates generated Triton kernels on an RTX 3090.  This
+environment has no GPU, so kernels are represented explicitly as
+:class:`KernelSpec` objects describing their memory traffic, contraction
+work, atomics, and broadcasting overhead; an analytical
+:class:`DeviceModel` converts those into estimated milliseconds, and the
+code generator emits readable Triton-style source so the structural
+effects of the paper's compiler extensions (``tl.dot`` use, fusion, lazy
+broadcasting) are visible and testable.
+"""
+
+from repro.core.triton_sim.device import DeviceModel, RTX3090
+from repro.core.triton_sim.kernel import KernelSpec, MemoryAccess, KernelTimeBreakdown
+from repro.core.triton_sim.profiler import estimate_kernel_time, estimate_total_time, CostReport
+from repro.core.triton_sim.codegen import generate_triton_source
+
+__all__ = [
+    "DeviceModel",
+    "RTX3090",
+    "KernelSpec",
+    "MemoryAccess",
+    "KernelTimeBreakdown",
+    "estimate_kernel_time",
+    "estimate_total_time",
+    "CostReport",
+    "generate_triton_source",
+]

@@ -1,0 +1,133 @@
+"""Analytical GPU device model.
+
+The model captures the handful of machine characteristics that the paper's
+results actually hinge on:
+
+* DRAM bandwidth (streaming, coalesced traffic);
+* an efficiency penalty for *indirect* (gather/scatter) accesses, whose
+  transactions are small and poorly coalesced;
+* separate peak throughputs for Tensor Core and CUDA-core math;
+* the cost of atomic additions (scatter contention);
+* per-kernel launch overhead (why fusing three kernels into one helps
+  beyond just avoiding intermediate traffic).
+
+Absolute numbers follow public RTX 3090 specifications; the benchmarks
+compare ratios, which is what the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Parameters of the simulated GPU."""
+
+    name: str = "Simulated GPU"
+    #: Streaming DRAM bandwidth for coalesced accesses, in GB/s.
+    dram_bandwidth_gbps: float = 900.0
+    #: Effective bandwidth efficiency of indirect (gathered/scattered)
+    #: element accesses: each request touches a full 32-byte sector.
+    indirect_sector_bytes: int = 32
+    #: Peak Tensor Core throughput (FP16 accumulate FP32), in GFLOP/s.
+    tensor_core_gflops: float = 142_000.0
+    #: Peak CUDA-core FMA throughput for FP32, in GFLOP/s.
+    cuda_core_fp32_gflops: float = 35_600.0
+    #: Peak CUDA-core FMA throughput for FP16 (usually ~same as FP32 rate).
+    cuda_core_fp16_gflops: float = 35_600.0
+    #: L2 bandwidth available to atomic read-modify-write traffic, in GB/s.
+    #: Atomics to distinct addresses resolve in L2; each consumes roughly
+    #: ``atomic_rmw_bytes`` of that bandwidth (same-cache-line atomics from
+    #: one CTA coalesce, so the per-element cost is near the element size).
+    #: Heavy same-address contention would be slower, but the scatter
+    #: patterns in this paper spread across the output.
+    l2_bandwidth_gbps: float = 2000.0
+    atomic_rmw_bytes: int = 4
+    #: Fixed overhead per kernel launch, in microseconds.
+    kernel_launch_us: float = 6.0
+    #: Number of streaming multiprocessors (used to sanity-check grids).
+    sm_count: int = 82
+    #: Shared memory per SM in bytes (used to reject oversized tiles).
+    shared_memory_per_sm: int = 100 * 1024
+    #: Achievable fraction of peak compute for generated (non-library) kernels.
+    compute_efficiency: float = 0.70
+    #: Achievable fraction of peak DRAM bandwidth for generated kernels.
+    dram_efficiency: float = 0.85
+
+    # -- timing primitives (all return milliseconds) ---------------------------
+    def time_coalesced_bytes(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` of coalesced DRAM traffic."""
+        if num_bytes < 0:
+            raise DeviceError(f"negative byte count: {num_bytes}")
+        bandwidth = self.dram_bandwidth_gbps * self.dram_efficiency * 1e9
+        return num_bytes / bandwidth * 1e3
+
+    def time_indirect_accesses(
+        self, count: float, bytes_each: float, footprint_bytes: float | None = None
+    ) -> float:
+        """Time for ``count`` indirect accesses of ``bytes_each`` useful bytes.
+
+        Each access transfers at least one DRAM sector, so small gathers
+        waste most of their transaction; large gathered rows approach the
+        streaming bandwidth.  When ``footprint_bytes`` is given (the size of
+        the distinct data actually touched), caches cap the DRAM traffic at
+        that footprint — re-gathering the same rows does not re-stream them
+        from DRAM — while the per-request sector cost still applies.
+        """
+        if count < 0 or bytes_each < 0:
+            raise DeviceError("negative indirect access parameters")
+        useful_bytes = count * bytes_each
+        sector_bytes = count * float(self.indirect_sector_bytes)
+        if footprint_bytes is not None:
+            useful_bytes = min(useful_bytes, max(footprint_bytes, 0.0))
+        effective_bytes = max(useful_bytes, sector_bytes)
+        bandwidth = self.dram_bandwidth_gbps * self.dram_efficiency * 1e9
+        return effective_bytes / bandwidth * 1e3
+
+    def time_compute(self, flops: float, use_tensor_core: bool, dtype: str = "fp16") -> float:
+        """Time to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise DeviceError(f"negative flop count: {flops}")
+        if use_tensor_core:
+            peak = self.tensor_core_gflops
+            if dtype == "fp32":
+                # TF32 tensor-core rate is roughly half the FP16 rate.
+                peak = self.tensor_core_gflops / 2.0
+        else:
+            peak = self.cuda_core_fp16_gflops if dtype == "fp16" else self.cuda_core_fp32_gflops
+        return flops / (peak * self.compute_efficiency * 1e9) * 1e3
+
+    def time_atomics(self, count: float) -> float:
+        """Time for ``count`` global atomic additions (L2 read-modify-write)."""
+        if count < 0:
+            raise DeviceError(f"negative atomic count: {count}")
+        bandwidth = self.l2_bandwidth_gbps * 1e9
+        return count * self.atomic_rmw_bytes / bandwidth * 1e3
+
+    def launch_overhead_ms(self, num_kernels: int = 1) -> float:
+        """Fixed launch overhead for ``num_kernels`` kernel launches."""
+        return num_kernels * self.kernel_launch_us * 1e-3
+
+    def dtype_bytes(self, dtype: str) -> int:
+        """Size in bytes of one element of the given dtype string."""
+        sizes = {"fp16": 2, "bf16": 2, "fp32": 4, "fp64": 8, "int32": 4, "int64": 8}
+        try:
+            return sizes[dtype]
+        except KeyError:
+            raise DeviceError(f"unknown dtype {dtype!r}") from None
+
+
+#: Default device: an RTX 3090 (Ampere, 24 GB) as used in the paper.
+RTX3090 = DeviceModel(
+    name="NVIDIA GeForce RTX 3090 (simulated)",
+    dram_bandwidth_gbps=936.0,
+    tensor_core_gflops=142_000.0,
+    cuda_core_fp32_gflops=35_600.0,
+    cuda_core_fp16_gflops=35_600.0,
+    l2_bandwidth_gbps=2000.0,
+    kernel_launch_us=6.0,
+    sm_count=82,
+)

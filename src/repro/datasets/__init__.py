@@ -1,0 +1,47 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper evaluates on TC-GNN sparse matrices, S3DIS indoor point clouds,
+and real Clebsch–Gordan coefficient tensors.  None of those can be
+downloaded in this offline environment, so this package generates
+synthetic equivalents whose *structural* properties (sizes, nonzero
+counts, degree skew, voxel occupancy, CG sparsity) match the published
+characteristics; DESIGN.md documents each substitution.
+"""
+
+from repro.datasets.blocksparse import random_block_sparse_matrix, random_sparse_matrix
+from repro.datasets.graphs import GRAPH_SPECS, GraphSpec, load_graph_matrix, list_graphs
+from repro.datasets.pointclouds import (
+    SCENE_SPECS,
+    KernelMap,
+    SceneSpec,
+    build_kernel_map,
+    generate_scene,
+    list_scenes,
+    voxelize,
+)
+from repro.datasets.clebsch_gordan import (
+    CGTensor,
+    clebsch_gordan,
+    fully_connected_cg_tensor,
+    wigner_3j,
+)
+
+__all__ = [
+    "random_block_sparse_matrix",
+    "random_sparse_matrix",
+    "GRAPH_SPECS",
+    "GraphSpec",
+    "load_graph_matrix",
+    "list_graphs",
+    "SCENE_SPECS",
+    "SceneSpec",
+    "KernelMap",
+    "build_kernel_map",
+    "generate_scene",
+    "list_scenes",
+    "voxelize",
+    "CGTensor",
+    "clebsch_gordan",
+    "fully_connected_cg_tensor",
+    "wigner_3j",
+]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch a single base class.  Sub-hierarchies mirror the pipeline
+stages: the Einsum frontend, format construction, the FX graph layer, the
+Inductor-like backend, and the simulated device.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class EinsumError(ReproError):
+    """Base class for errors in the indirect-Einsum frontend."""
+
+
+class EinsumSyntaxError(EinsumError):
+    """The einsum expression string could not be parsed.
+
+    Carries the offending text and position so callers can point at the
+    exact character that confused the parser.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if text and position is not None:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class EinsumValidationError(EinsumError):
+    """The expression parsed but is semantically invalid.
+
+    Examples: an index used on the left-hand side that never appears on the
+    right, a tensor referenced in the expression but not bound to a value,
+    or inconsistent dimension sizes for the same index variable.
+    """
+
+
+class FormatError(ReproError):
+    """Base class for sparse-format construction and conversion errors."""
+
+
+class ShapeError(FormatError):
+    """A tensor or block shape is inconsistent with the format invariants."""
+
+
+class FXGraphError(ReproError):
+    """The FX-like graph is malformed (dangling inputs, unknown ops, ...)."""
+
+
+class LoweringError(ReproError):
+    """Lowering from one IR to the next failed."""
+
+
+class CodegenError(ReproError):
+    """The Triton-style code generator could not emit a kernel."""
+
+
+class AutotuneError(ReproError):
+    """The autotuner could not find any valid configuration."""
+
+
+class DeviceError(ReproError):
+    """The simulated device rejected a kernel (e.g. tile too large)."""

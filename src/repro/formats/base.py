@@ -1,0 +1,94 @@
+"""Abstract base class shared by all sparse formats."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.einsum.rewriting import OperandRewrite
+from repro.errors import FormatError
+
+
+class SparseFormat(abc.ABC):
+    """Common interface of every sparse format in the repro package.
+
+    A format owns the *data* (nonzero values) and *metadata* (coordinates,
+    pointers, group structure) of one sparse tensor, knows how to convert
+    to/from a dense array, and — for fixed-length formats — knows how to
+    describe itself to the Einsum rewriter via :meth:`rewrite_plan`.
+    """
+
+    #: Human-readable format name, e.g. ``"GroupCOO"``.
+    format_name: str = "Sparse"
+
+    #: Whether the format has fixed loop bounds and can therefore be used
+    #: directly in an indirect Einsum (Section 4).
+    fixed_length: bool = True
+
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, ...]:
+        """Logical dense shape of the tensor."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored, non-padding nonzero entries."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise the tensor as a dense NumPy array."""
+
+    @abc.abstractmethod
+    def tensors(self, name: str) -> dict[str, np.ndarray]:
+        """Data/metadata arrays keyed by the names used in indirect Einsums.
+
+        ``name`` is the operand name in the user's Einsum (e.g. ``"A"``),
+        so COO over indices ``(m, k)`` produces ``{"AV": ..., "AM": ...,
+        "AK": ...}`` exactly as written in the paper.
+        """
+
+    def rewrite_plan(self, name: str, index_names: Sequence[str]) -> OperandRewrite:
+        """Build the rewrite plan turning ``name[index_names]`` into this format.
+
+        Fixed-length formats override this.  Variable-length formats raise,
+        explaining the limitation described in Section 4 of the paper.
+        """
+        raise FormatError(
+            f"{self.format_name} is not a fixed-length format: its loop bounds depend on data "
+            "values (per-row nonzero counts), which cannot be expressed as an indirect Einsum. "
+            "Convert to COO, ELL, GroupCOO, BlockCOO, or BlockGroupCOO first."
+        )
+
+    # -- storage accounting -------------------------------------------------
+    def value_count(self) -> int:
+        """Number of stored value slots, including padding."""
+        return self.nnz
+
+    def index_count(self) -> int:
+        """Number of stored metadata (index/pointer) slots."""
+        return 0
+
+    def memory_bytes(self, value_itemsize: int = 4, index_itemsize: int = 4) -> int:
+        """Approximate storage footprint of the format in bytes."""
+        return self.value_count() * value_itemsize + self.index_count() * index_itemsize
+
+    # -- niceties -------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Fraction of logically nonzero entries."""
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero entries (1 - density)."""
+        return 1.0 - self.density
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.format_name}(shape={dims}, nnz={self.nnz})"

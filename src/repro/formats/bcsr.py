@@ -1,0 +1,127 @@
+"""BCSR (block compressed sparse row), the format used by the TorchBSR baseline.
+
+Like CSR, BCSR keeps a row-pointer array over *block rows*.  That pointer
+array costs ``O(N / bM)`` storage and traversal even when a block row is
+completely empty, which is why the paper's Figure 10 shows the BCSR-based
+TorchBSR baseline losing to BlockGroupCOO in the hypersparse regime.
+BCSR's per-row loop bound is data-dependent, so it is *not* a fixed-length
+format and cannot be expressed as an indirect Einsum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.base import SparseFormat
+from repro.formats.blocking import nonzero_blocks
+from repro.utils.arrays import as_index_array, as_value_array
+
+
+class BCSR(SparseFormat):
+    """Block-CSR: ``indptr`` over block rows, block column indices, block values."""
+
+    format_name = "BCSR"
+    fixed_length = False
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ):
+        self._shape = tuple(int(d) for d in shape)
+        self.block_shape = (int(block_shape[0]), int(block_shape[1]))
+        if len(self._shape) != 2:
+            raise ShapeError(f"BCSR is a matrix format; got shape {self._shape}")
+        if self._shape[0] % self.block_shape[0] or self._shape[1] % self.block_shape[1]:
+            raise ShapeError(
+                f"matrix shape {self._shape} is not divisible by block shape {self.block_shape}"
+            )
+        self.indptr = as_index_array(indptr, name="BCSR indptr")
+        self.indices = as_index_array(indices, name="BCSR indices")
+        self.values = as_value_array(values, name="BCSR values")
+        block_rows = self._shape[0] // self.block_shape[0]
+        if self.indptr.shape != (block_rows + 1,):
+            raise ShapeError(
+                f"indptr must have shape ({block_rows + 1},), got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ShapeError("indptr must start at 0 and end at the number of blocks")
+        expected = (self.indices.shape[0], *self.block_shape)
+        if self.values.shape != expected:
+            raise ShapeError(f"values must have shape {expected}, got {self.values.shape}")
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, block_shape: tuple[int, int]) -> "BCSR":
+        rows, cols, blocks = nonzero_blocks(dense, block_shape)
+        block_rows = dense.shape[0] // block_shape[0]
+        order = np.lexsort((cols, rows))
+        rows, cols, blocks = rows[order], cols[order], blocks[order]
+        indptr = np.zeros(block_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(dense.shape, block_shape, indptr, cols, blocks)
+
+    @classmethod
+    def from_blockcoo(cls, blockcoo) -> "BCSR":
+        """Convert a BlockCOO tensor to BCSR."""
+        order = np.lexsort((blockcoo.block_cols, blockcoo.block_rows))
+        rows = blockcoo.block_rows[order]
+        cols = blockcoo.block_cols[order]
+        blocks = blockcoo.values[order]
+        block_rows = blockcoo.grid_shape[0]
+        indptr = np.zeros(block_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(blockcoo.shape, blockcoo.block_shape, indptr, cols, blocks)
+
+    # -- SparseFormat interface --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def num_block_rows(self) -> int:
+        return self._shape[0] // self.block_shape[0]
+
+    def block_row_occupancy(self) -> np.ndarray:
+        """Nonzero blocks per block row (including empty block rows)."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        block_rows_size, block_cols_size = self.block_shape
+        dense = np.zeros(self._shape, dtype=self.values.dtype)
+        for block_row in range(self.num_block_rows):
+            start, end = int(self.indptr[block_row]), int(self.indptr[block_row + 1])
+            for slot in range(start, end):
+                col = int(self.indices[slot]) * block_cols_size
+                row = block_row * block_rows_size
+                dense[row : row + block_rows_size, col : col + block_cols_size] += self.values[slot]
+        return dense
+
+    def tensors(self, name: str) -> dict[str, np.ndarray]:
+        return {
+            f"{name}P": self.indptr,
+            f"{name}K": self.indices,
+            f"{name}V": self.values,
+        }
+
+    def value_count(self) -> int:
+        return int(self.values.size)
+
+    def index_count(self) -> int:
+        return int(self.indptr.size + self.indices.size)

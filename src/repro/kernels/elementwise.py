@@ -1,0 +1,78 @@
+"""Additional sparse kernels exercising the same machinery.
+
+These are not part of the paper's evaluation, but they demonstrate that the
+indirect-Einsum abstraction covers more than the four case studies:
+sparse-matrix/vector products, SDDMM (sampled dense-dense matmul), and the
+introduction's COO elementwise multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.inductor import InductorConfig
+from repro.core.insum import insum, sparse_einsum
+from repro.formats import COO, GroupCOO
+
+
+def spmv(
+    matrix: GroupCOO | np.ndarray,
+    vector: np.ndarray,
+    config: InductorConfig | None = None,
+) -> np.ndarray:
+    """Sparse matrix-vector product ``y[m] += A[m,k] * x[k]`` via GroupCOO."""
+    fmt = matrix if isinstance(matrix, GroupCOO) else GroupCOO.from_dense(np.asarray(matrix))
+    return sparse_einsum("y[m] += A[m,k] * x[k]", A=fmt, x=np.asarray(vector), config=config)
+
+
+def coo_elementwise_multiply(
+    sparse: COO, dense: np.ndarray, config: InductorConfig | None = None
+) -> np.ndarray:
+    """The introduction's example: ``C[AI[p]] = AV[p] * B[AI[p]]`` on 1-D tensors.
+
+    ``sparse`` must be a rank-1 COO tensor; the result has the same dense
+    length and is nonzero only at the sparse positions.
+    """
+    if len(sparse.shape) != 1:
+        raise ValueError("coo_elementwise_multiply expects a rank-1 COO tensor")
+    dense = np.asarray(dense)
+    output = np.zeros(sparse.shape[0], dtype=np.result_type(sparse.values, dense))
+    return insum(
+        "C[AI[p]] = AV[p] * B[AI[p]]",
+        C=output,
+        AV=sparse.values,
+        AI=sparse.coords[0],
+        B=dense,
+        config=config,
+    )
+
+
+def sddmm(
+    sampling: COO,
+    left: np.ndarray,
+    right: np.ndarray,
+    config: InductorConfig | None = None,
+) -> COO:
+    """Sampled dense-dense matmul: ``O[i,j] = S[i,j] * (left @ right)[i,j]``.
+
+    Only the positions present in the sampling pattern ``S`` are computed,
+    using the indirect Einsum
+    ``OV[p] += SV[p] * left[SI[p],k] * right[k,SJ[p]]``; the result is
+    returned as a COO tensor with the same coordinates as ``S``.
+    """
+    if len(sampling.shape) != 2:
+        raise ValueError("sddmm expects a rank-2 sampling pattern")
+    left = np.asarray(left)
+    right = np.asarray(right)
+    output_values = np.zeros(sampling.nnz, dtype=np.result_type(left, right))
+    values = insum(
+        "OV[p] += SV[p] * L[SI[p],k] * R[k,SJ[p]]",
+        OV=output_values,
+        SV=sampling.values,
+        SI=sampling.coords[0],
+        SJ=sampling.coords[1],
+        L=left,
+        R=right,
+        config=config,
+    )
+    return COO(sampling.shape, values, sampling.coords)

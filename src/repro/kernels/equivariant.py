@@ -1,0 +1,155 @@
+"""The fully connected (uvw) equivariant tensor product (Section 6.5).
+
+The computation contracts a sparse 4-D tensor of Clebsch–Gordan
+coefficients against two input feature tensors and a per-sample weight
+tensor.  Storing the CG tensor in COO form and grouping its entries by the
+path coordinate ``CGL`` exposes a batched matmul over the channel
+dimensions ``u`` and ``w``, which is what lets the generated kernel use
+Tensor Cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.inductor import InductorConfig
+from repro.core.insum import Insum
+from repro.datasets.clebsch_gordan import CGTensor, fully_connected_cg_tensor
+from repro.errors import ShapeError
+from repro.formats.group_size import select_group_size
+from repro.utils.arrays import ceil_div
+
+
+class FullyConnectedTensorProduct:
+    """Equivariant ``Z[b,i,w] = CG[i,j,k,l] * X[b,j,u] * Y[b,k] * W[b,l,u,w]``."""
+
+    #: The entire user-written implementation (Table 1's "1 LoC").
+    expression = (
+        "Z[b,CGI[p,q],w] += CGV[p,q] * X[b,CGJ[p,q],u] * Y[b,CGK[p,q]] * W[b,CGL[p],u,w]"
+    )
+    lines_of_code = 1
+
+    def __init__(
+        self,
+        l_max: int,
+        channels: int,
+        dtype: str = "fp32",
+        group_size: int | None = None,
+        config: InductorConfig | None = None,
+    ):
+        self.l_max = int(l_max)
+        self.channels = int(channels)
+        self.cg: CGTensor = fully_connected_cg_tensor(self.l_max)
+        self.config = config or InductorConfig.insum(dtype=dtype)
+        self._grouped = self._group_by_path(group_size)
+        self._operator = Insum(self.expression, config=self.config)
+        self._compiled = None
+
+    # -- CG grouping -------------------------------------------------------------
+    def _group_by_path(self, group_size: int | None) -> dict[str, np.ndarray]:
+        """Group the COO entries of the CG tensor by their path index (CGL)."""
+        coo = self.cg.to_coo_arrays("CG")
+        order = np.argsort(coo["CGL"], kind="stable")
+        i, j, k, l, v = (coo[key][order] for key in ("CGI", "CGJ", "CGK", "CGL", "CGV"))
+        occupancy = np.bincount(l, minlength=self.cg.num_paths)
+        if group_size is None:
+            group_size = select_group_size(occupancy)
+        group_size = max(1, int(group_size))
+
+        rows_i, rows_j, rows_k, rows_v, rows_l = [], [], [], [], []
+        cursor = 0
+        for path in range(self.cg.num_paths):
+            count = int(occupancy[path])
+            if count == 0:
+                continue
+            groups = ceil_div(count, group_size)
+            pad_i = np.zeros(groups * group_size, dtype=np.int64)
+            pad_j = np.zeros(groups * group_size, dtype=np.int64)
+            pad_k = np.zeros(groups * group_size, dtype=np.int64)
+            pad_v = np.zeros(groups * group_size, dtype=np.float64)
+            window = slice(cursor, cursor + count)
+            pad_i[:count], pad_j[:count], pad_k[:count], pad_v[:count] = (
+                i[window],
+                j[window],
+                k[window],
+                v[window],
+            )
+            cursor += count
+            for g in range(groups):
+                block = slice(g * group_size, (g + 1) * group_size)
+                rows_i.append(pad_i[block])
+                rows_j.append(pad_j[block])
+                rows_k.append(pad_k[block])
+                rows_v.append(pad_v[block])
+                rows_l.append(path)
+        return {
+            "CGI": np.stack(rows_i),
+            "CGJ": np.stack(rows_j),
+            "CGK": np.stack(rows_k),
+            "CGV": np.stack(rows_v),
+            "CGL": np.asarray(rows_l, dtype=np.int64),
+        }
+
+    @property
+    def group_size(self) -> int:
+        return int(self._grouped["CGI"].shape[1])
+
+    @property
+    def slot_dimension(self) -> int:
+        """Spherical-harmonic slots per side (the ``i``/``j``/``k`` extent)."""
+        return self.cg.slot_dimension()
+
+    # -- execution -----------------------------------------------------------------
+    def random_inputs(
+        self, batch: int, rng: np.random.Generator | int | None = 0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Random ``(X, Y, W)`` inputs with the right shapes for this layer."""
+        rng = np.random.default_rng(rng)
+        slots = self.slot_dimension
+        x = rng.standard_normal((batch, slots, self.channels))
+        y = rng.standard_normal((batch, slots))
+        w = rng.standard_normal((batch, self.cg.num_paths, self.channels, self.channels))
+        w /= np.sqrt(self.channels * self.cg.num_paths)
+        return x, y, w
+
+    def __call__(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Compute the tensor product for a batch of inputs."""
+        x, y, w = np.asarray(x), np.asarray(y), np.asarray(w)
+        batch = x.shape[0]
+        if y.shape[0] != batch or w.shape[0] != batch:
+            raise ShapeError("X, Y, and W must share the batch dimension")
+        output = np.zeros((batch, self.slot_dimension, self.channels), dtype=x.dtype)
+        tensors = {"Z": output, "X": x, "Y": y, "W": w, **self._grouped}
+        result = self._operator(**tensors)
+        self._compiled = self._operator.compile(**tensors)
+        return result
+
+    def estimate_ms(self, batch: int) -> float:
+        """Modelled GPU runtime for a given batch size without executing."""
+        slots = self.slot_dimension
+        x = np.zeros((batch, slots, self.channels), dtype=np.float32)
+        y = np.zeros((batch, slots), dtype=np.float32)
+        w = np.zeros((batch, self.cg.num_paths, self.channels, self.channels), dtype=np.float32)
+        output = np.zeros((batch, slots, self.channels), dtype=np.float32)
+        tensors = {"Z": output, "X": x, "Y": y, "W": w, **self._grouped}
+        self._compiled = self._operator.compile(**tensors)
+        return self._compiled.estimated_ms
+
+    def reference(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Dense einsum over the full CG tensor, used by the tests."""
+        return np.einsum(
+            "ijkl,bju,bk,bluw->biw", self.cg.dense, x, y, w, optimize=True
+        )
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def compiled(self):
+        return self._compiled
+
+    @property
+    def modeled_ms(self) -> float | None:
+        return None if self._compiled is None else self._compiled.estimated_ms
+
+    @property
+    def compile_seconds(self) -> float:
+        return self._operator.compile_seconds

@@ -1,0 +1,26 @@
+"""Shared small utilities used across the repro package."""
+
+from repro.utils.arrays import (
+    as_index_array,
+    as_value_array,
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    prev_power_of_two,
+    round_to_power_of_two,
+)
+from repro.utils.naming import fresh_name, is_identifier
+from repro.utils.timing import Timer
+
+__all__ = [
+    "as_index_array",
+    "as_value_array",
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prev_power_of_two",
+    "round_to_power_of_two",
+    "fresh_name",
+    "is_identifier",
+    "Timer",
+]

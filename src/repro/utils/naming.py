@@ -1,0 +1,30 @@
+"""Name generation helpers for IR nodes and generated kernels."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import defaultdict
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+_counters: defaultdict[str, itertools.count] = defaultdict(itertools.count)
+
+
+def is_identifier(name: str) -> bool:
+    """Return True if ``name`` is a valid Python-style identifier."""
+    return bool(_IDENTIFIER_RE.match(name))
+
+
+def fresh_name(prefix: str) -> str:
+    """Return a unique name of the form ``prefix_N``.
+
+    Uniqueness is per-prefix and process-wide, which is enough to keep IR
+    dumps readable and distinct within a single compilation session.
+    """
+    return f"{prefix}_{next(_counters[prefix])}"
+
+
+def reset_names() -> None:
+    """Reset all counters (used by tests for deterministic IR dumps)."""
+    _counters.clear()

@@ -1,0 +1,75 @@
+"""Tests for the analysis helpers (LoC accounting, metrics, reporting)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_BASELINE_LOC,
+    count_lines_of_code,
+    format_series,
+    format_table,
+    geometric_mean,
+    loc_saving,
+    speedup,
+)
+
+
+def test_count_lines_of_code_skips_blank_and_comments():
+    source = """
+# a comment
+x = 1
+
+y = 2  # trailing comment counts as code
+"""
+    assert count_lines_of_code(source) == 2
+
+
+def test_paper_baseline_loc_table():
+    assert PAPER_BASELINE_LOC["sparse_convolution"] == ("TorchSparse", 4491)
+    assert PAPER_BASELINE_LOC["structured_spmm"][1] == 202
+
+
+def test_loc_saving_matches_table1():
+    assert loc_saving("structured_spmm", 1) == 202
+    assert loc_saving("unstructured_spmm", 1) == 1918
+    assert loc_saving("equivariant_tensor_product", 1) == 225
+    assert loc_saving("sparse_convolution", 1) == 4491
+
+
+def test_loc_saving_validation():
+    with pytest.raises(KeyError):
+        loc_saving("unknown", 1)
+    with pytest.raises(ValueError):
+        loc_saving("structured_spmm", 0)
+
+
+def test_speedup():
+    assert speedup(2.0, 1.0) == 2.0
+    assert speedup(1.0, 2.0) == 0.5
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+    with pytest.raises(ValueError):
+        speedup(-1.0, 1.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1.5], ["long-name", 20.0]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    assert "1.50" in table and "20.00" in table
+
+
+def test_format_series():
+    text = format_series("g", [1, 2], {"runtime": [0.5, 0.25], "size": [10.0, 20.0]})
+    assert "runtime" in text and "size" in text
+    assert "0.500" in text

@@ -1,0 +1,66 @@
+"""Tests for the indirect-Einsum tokenizer."""
+
+import pytest
+
+from repro.core.einsum.lexer import Token, TokenKind, tokenize
+from repro.errors import EinsumSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def test_simple_statement_token_kinds():
+    assert kinds("C[m,n] += A[m,k] * B[k,n]") == [
+        TokenKind.NAME, TokenKind.LBRACKET, TokenKind.NAME, TokenKind.COMMA, TokenKind.NAME,
+        TokenKind.RBRACKET, TokenKind.PLUS_EQUALS,
+        TokenKind.NAME, TokenKind.LBRACKET, TokenKind.NAME, TokenKind.COMMA, TokenKind.NAME,
+        TokenKind.RBRACKET, TokenKind.STAR,
+        TokenKind.NAME, TokenKind.LBRACKET, TokenKind.NAME, TokenKind.COMMA, TokenKind.NAME,
+        TokenKind.RBRACKET, TokenKind.END,
+    ]
+
+
+def test_whitespace_is_insignificant():
+    assert kinds("C[m , n]+=A[m,k]*B[k,n]") == kinds("C[m,n] += A[m,k] * B[k,n]")
+
+
+def test_plain_equals():
+    tokens = tokenize("C[i] = A[i]")
+    assert TokenKind.EQUALS in [t.kind for t in tokens]
+    assert TokenKind.PLUS_EQUALS not in [t.kind for t in tokens]
+
+
+def test_integer_literal_token():
+    tokens = tokenize("A[0, k]")
+    assert tokens[2].kind is TokenKind.INT
+    assert tokens[2].text == "0"
+
+
+def test_names_can_contain_digits_and_underscores():
+    tokens = tokenize("AV_2[p1]")
+    assert tokens[0].text == "AV_2"
+    assert tokens[2].text == "p1"
+
+
+def test_positions_are_recorded():
+    tokens = tokenize("C[i] += A[i]")
+    plus = next(t for t in tokens if t.kind is TokenKind.PLUS_EQUALS)
+    assert plus.position == 5
+
+
+def test_end_sentinel_always_present():
+    assert tokenize("A")[-1].kind is TokenKind.END
+    assert tokenize("")[-1].kind is TokenKind.END
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(EinsumSyntaxError):
+        tokenize("C[i] += A[i] + B[i]")  # '+' alone is not a valid operator
+    with pytest.raises(EinsumSyntaxError):
+        tokenize("C[i] ? A[i]")
+
+
+def test_token_repr_mentions_kind():
+    token = Token(TokenKind.NAME, "AV", 0)
+    assert "NAME" in repr(token)

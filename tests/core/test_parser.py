@@ -1,0 +1,109 @@
+"""Tests for the indirect-Einsum parser and AST."""
+
+import pytest
+
+from repro.core.einsum import parse_einsum
+from repro.core.einsum.ast import IndexVar, IntLiteral, TensorAccess
+from repro.errors import EinsumSyntaxError
+
+
+def test_parse_coo_spmm():
+    stmt = parse_einsum("C[AM[p],n] += AV[p] * B[AK[p],n]")
+    assert stmt.accumulate is True
+    assert stmt.lhs.tensor == "C"
+    assert isinstance(stmt.lhs.indices[0], TensorAccess)
+    assert isinstance(stmt.lhs.indices[1], IndexVar)
+    assert [f.tensor for f in stmt.rhs.factors] == ["AV", "B"]
+
+
+def test_roundtrip_to_string():
+    text = "C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]"
+    assert str(parse_einsum(text)) == text
+
+
+def test_parse_assignment_vs_accumulate():
+    assert parse_einsum("C[i] = A[i]").accumulate is False
+    assert parse_einsum("C[i] += A[i]").accumulate is True
+
+
+def test_parse_scalar_access():
+    stmt = parse_einsum("s = A[i] * B[i]")
+    assert stmt.lhs.ndim == 0
+    assert stmt.lhs.tensor == "s"
+
+
+def test_parse_integer_literal_index():
+    stmt = parse_einsum("C[i] += A[0, i]")
+    literal = stmt.rhs.factors[0].indices[0]
+    assert isinstance(literal, IntLiteral)
+    assert literal.value == 0
+
+
+def test_parse_nested_indirection():
+    stmt = parse_einsum("C[i] += A[B[D[i]]]")
+    outer = stmt.rhs.factors[0].indices[0]
+    assert isinstance(outer, TensorAccess)
+    inner = outer.indices[0]
+    assert isinstance(inner, TensorAccess)
+    assert inner.tensor == "D"
+
+
+def test_tensor_names_include_metadata():
+    stmt = parse_einsum("C[AM[p],n] += AV[p] * B[AK[p],n]")
+    assert set(stmt.tensor_names()) == {"C", "AM", "AV", "B", "AK"}
+
+
+def test_index_var_names_in_order():
+    stmt = parse_einsum("Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]")
+    assert stmt.index_var_names() == ["p", "q", "m", "c"]
+
+
+def test_output_and_reduction_vars():
+    stmt = parse_einsum("C[m,n] += A[m,k] * B[k,n]")
+    assert stmt.output_index_vars() == ["m", "n"]
+    assert stmt.reduction_index_vars() == ["k"]
+
+
+def test_reduction_vars_with_indirect_output():
+    stmt = parse_einsum("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]")
+    assert stmt.output_index_vars() == ["p", "n"]
+    assert stmt.reduction_index_vars() == ["q"]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "C[i]",
+        "C[i] +=",
+        "+= A[i]",
+        "C[i] += A[i] extra",
+        "C[i += A[i]",
+        "C[i]] += A[i]",
+        "C[] += A[i]",
+        "C[i] += A[i] * ",
+        "C[i] = = A[i]",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(EinsumSyntaxError):
+        parse_einsum(bad)
+
+
+def test_non_string_input_rejected():
+    with pytest.raises(EinsumSyntaxError):
+        parse_einsum(42)  # type: ignore[arg-type]
+
+
+def test_all_accesses_and_nested_accesses():
+    stmt = parse_einsum("C[AM[p],n] += AV[p] * B[AK[p],n]")
+    accesses = stmt.all_accesses()
+    assert len(accesses) == 3
+    nested = accesses[0].nested_accesses()
+    assert [a.tensor for a in nested] == ["AM"]
+
+
+def test_is_direct_flag():
+    stmt = parse_einsum("C[m,n] += A[m,k] * B[AK[k],n]")
+    assert stmt.rhs.factors[0].is_direct
+    assert not stmt.rhs.factors[1].is_direct

@@ -1,0 +1,81 @@
+"""Tests for the loop-nest reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core.einsum import reference_execute
+from repro.formats import COO
+
+
+def test_dense_matmul(rng):
+    a = rng.standard_normal((4, 5))
+    b = rng.standard_normal((5, 3))
+    out = reference_execute("C[m,n] += A[m,k] * B[k,n]", {"C": np.zeros((4, 3)), "A": a, "B": b})
+    np.testing.assert_allclose(out, a @ b, atol=1e-12)
+
+
+def test_coo_spmm_matches_dense(rng, small_sparse_matrix):
+    coo = COO.from_dense(small_sparse_matrix)
+    b = rng.standard_normal((small_sparse_matrix.shape[1], 4))
+    out = reference_execute(
+        "C[AM[p],n] += AV[p] * B[AK[p],n]",
+        {
+            "C": np.zeros((small_sparse_matrix.shape[0], 4)),
+            "AV": coo.values,
+            "AM": coo.coords[0],
+            "AK": coo.coords[1],
+            "B": b,
+        },
+    )
+    np.testing.assert_allclose(out, small_sparse_matrix @ b, atol=1e-12)
+
+
+def test_accumulate_keeps_existing_output(rng):
+    a = rng.standard_normal(5)
+    existing = rng.standard_normal(5)
+    out = reference_execute("C[i] += A[i]", {"C": existing, "A": a})
+    np.testing.assert_allclose(out, existing + a, atol=1e-12)
+
+
+def test_assignment_ignores_existing_output(rng):
+    a = rng.standard_normal(5)
+    existing = rng.standard_normal(5)
+    out = reference_execute("C[i] = A[i]", {"C": existing, "A": a})
+    np.testing.assert_allclose(out, a, atol=1e-12)
+
+
+def test_scatter_duplicates_accumulate():
+    out = reference_execute(
+        "C[I[p]] += V[p]",
+        {"C": np.zeros(3), "I": np.array([1, 1, 2]), "V": np.array([1.0, 2.0, 5.0])},
+    )
+    np.testing.assert_allclose(out, [0.0, 3.0, 5.0])
+
+
+def test_does_not_mutate_inputs(rng):
+    existing = np.zeros(3)
+    reference_execute("C[i] += A[i]", {"C": existing, "A": np.ones(3)})
+    np.testing.assert_allclose(existing, 0.0)
+
+
+def test_scalar_output_reduction(rng):
+    a = rng.standard_normal(6)
+    b = rng.standard_normal(6)
+    out = reference_execute("s = A[i] * B[i]", {"s": np.zeros(()), "A": a, "B": b})
+    np.testing.assert_allclose(out, np.dot(a, b), atol=1e-12)
+
+
+def test_constant_index(rng):
+    a = rng.standard_normal((3, 4))
+    out = reference_execute("C[i] += A[1, i]", {"C": np.zeros(4), "A": a})
+    np.testing.assert_allclose(out, a[1], atol=1e-12)
+
+
+def test_three_factor_product(rng):
+    a = rng.standard_normal(4)
+    b = rng.standard_normal(4)
+    c = rng.standard_normal(4)
+    out = reference_execute(
+        "D[i] += A[i] * B[i] * C[i]", {"D": np.zeros(4), "A": a, "B": b, "C": c}
+    )
+    np.testing.assert_allclose(out, a * b * c, atol=1e-12)

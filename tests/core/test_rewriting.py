@@ -1,0 +1,105 @@
+"""Tests for the format-agnostic -> format-conscious rewriter."""
+
+import numpy as np
+import pytest
+
+from repro.core.einsum import parse_einsum, reference_execute, rewrite_sparse_operand
+from repro.core.einsum.rewriting import IndexSubstitution
+from repro.errors import EinsumValidationError
+from repro.formats import COO, ELL, BlockCOO, BlockGroupCOO, GroupCOO
+
+
+AGNOSTIC = "C[m,n] += A[m,k] * B[k,n]"
+
+
+def run_rewritten(result, dense_a, rng, n=5):
+    """Execute a rewrite result with the reference interpreter and undo views."""
+    b = rng.standard_normal((dense_a.shape[1], n))
+    c = np.zeros((dense_a.shape[0], n))
+    tensors = dict(result.tensors)
+    tensors["B"] = b.reshape(result.reshapes["B"]) if "B" in result.reshapes else b
+    tensors["C"] = (
+        c.reshape(result.output_reshape) if result.output_reshape is not None else c
+    )
+    out = reference_execute(result.expression, tensors)
+    return out.reshape(c.shape), dense_a @ b
+
+
+def test_coo_rewrite_matches_paper_expression(small_sparse_matrix):
+    plan = COO.from_dense(small_sparse_matrix).rewrite_plan("A", ["m", "k"])
+    result = rewrite_sparse_operand(AGNOSTIC, plan)
+    assert result.expression == "C[AM[p],n] += AV[p] * B[AK[p],n]"
+    assert set(result.tensors) == {"AV", "AM", "AK"}
+
+
+def test_groupcoo_rewrite_matches_paper_expression(small_sparse_matrix):
+    plan = GroupCOO.from_dense(small_sparse_matrix, group_size=2).rewrite_plan("A", ["m", "k"])
+    result = rewrite_sparse_operand(AGNOSTIC, plan)
+    assert result.expression == "C[AM[p],n] += AV[p,q] * B[AK[p,q],n]"
+
+
+def test_blockgroupcoo_rewrite_matches_paper_expression(block_sparse_matrix):
+    fmt = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8), group_size=2)
+    result = rewrite_sparse_operand(
+        AGNOSTIC, fmt.rewrite_plan("A", ["m", "k"]),
+        {"B": (64, 5), "C": (64, 5)},
+    )
+    assert result.expression == "C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]"
+    assert result.reshapes["B"] == (8, 8, 5)
+    assert result.output_reshape == (8, 8, 5)
+
+
+def test_ell_rewrite_has_no_scatter(small_sparse_matrix):
+    result = rewrite_sparse_operand(
+        AGNOSTIC, ELL.from_dense(small_sparse_matrix).rewrite_plan("A", ["m", "k"])
+    )
+    assert result.expression == "C[m,n] += AV[m,q] * B[AK[m,q],n]"
+
+
+@pytest.mark.parametrize("fmt_cls", [COO, GroupCOO, ELL])
+def test_rewritten_einsums_compute_spmm(fmt_cls, small_sparse_matrix, rng):
+    fmt = fmt_cls.from_dense(small_sparse_matrix)
+    result = rewrite_sparse_operand(
+        AGNOSTIC, fmt.rewrite_plan("A", ["m", "k"]),
+        {"B": (12, 5), "C": (8, 5)},
+    )
+    out, expected = run_rewritten(result, small_sparse_matrix, rng)
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+@pytest.mark.parametrize("fmt_cls", [BlockCOO, BlockGroupCOO])
+def test_rewritten_block_einsums_compute_spmm(fmt_cls, block_sparse_matrix, rng):
+    fmt = fmt_cls.from_dense(block_sparse_matrix, (8, 8))
+    result = rewrite_sparse_operand(
+        AGNOSTIC, fmt.rewrite_plan("A", ["m", "k"]),
+        {"B": (64, 5), "C": (64, 5)},
+    )
+    out, expected = run_rewritten(result, block_sparse_matrix, rng)
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+def test_missing_shape_for_split_raises(block_sparse_matrix):
+    fmt = BlockCOO.from_dense(block_sparse_matrix, (8, 8))
+    with pytest.raises(EinsumValidationError, match="shape"):
+        rewrite_sparse_operand(AGNOSTIC, fmt.rewrite_plan("A", ["m", "k"]), {})
+
+
+def test_unknown_operand_raises(small_sparse_matrix):
+    plan = COO.from_dense(small_sparse_matrix).rewrite_plan("A", ["m", "k"])
+    with pytest.raises(EinsumValidationError, match="does not appear"):
+        rewrite_sparse_operand("C[m,n] += X[m,k] * B[k,n]", plan)
+
+
+def test_substitution_validation():
+    with pytest.raises(EinsumValidationError):
+        IndexSubstitution(exprs=())
+    with pytest.raises(EinsumValidationError):
+        IndexSubstitution(exprs=(None, None), split_sizes=None)  # type: ignore[arg-type]
+
+
+def test_indivisible_split_raises(block_sparse_matrix):
+    fmt = BlockCOO.from_dense(block_sparse_matrix, (8, 8))
+    with pytest.raises(EinsumValidationError, match="viewed"):
+        rewrite_sparse_operand(
+            AGNOSTIC, fmt.rewrite_plan("A", ["m", "k"]), {"B": (63, 5), "C": (64, 5)}
+        )

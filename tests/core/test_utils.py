@@ -1,0 +1,76 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.utils import (
+    Timer,
+    as_index_array,
+    as_value_array,
+    ceil_div,
+    fresh_name,
+    is_identifier,
+    is_power_of_two,
+    next_power_of_two,
+    prev_power_of_two,
+    round_to_power_of_two,
+)
+from repro.utils.arrays import dense_nnz
+from repro.utils.naming import reset_names
+
+
+def test_ceil_div():
+    assert ceil_div(7, 2) == 4
+    assert ceil_div(8, 2) == 4
+    assert ceil_div(0, 3) == 0
+    with pytest.raises(ValueError):
+        ceil_div(3, 0)
+
+
+def test_power_of_two_helpers():
+    assert is_power_of_two(1) and is_power_of_two(64)
+    assert not is_power_of_two(0) and not is_power_of_two(48)
+    assert next_power_of_two(33) == 64
+    assert next_power_of_two(32) == 32
+    assert prev_power_of_two(33) == 32
+    assert round_to_power_of_two(5.6) == 4  # below the geometric midpoint of 4 and 8
+    assert round_to_power_of_two(6.0) == 8
+    assert round_to_power_of_two(0.3) == 1
+    with pytest.raises(ValueError):
+        next_power_of_two(0)
+    with pytest.raises(ValueError):
+        round_to_power_of_two(0)
+
+
+def test_as_index_array_coercion():
+    np.testing.assert_array_equal(as_index_array([1.0, 2.0]), [1, 2])
+    assert as_index_array([1, 2]).dtype == np.int64
+    with pytest.raises(ShapeError):
+        as_index_array([1.5])
+
+
+def test_as_value_array_coercion():
+    assert as_value_array([1, 2]).dtype == np.float64
+    assert as_value_array([1, 2], dtype=np.float32).dtype == np.float32
+
+
+def test_dense_nnz():
+    assert dense_nnz(np.array([0.0, 1.0, 1e-9])) == 2
+    assert dense_nnz(np.array([0.0, 1.0, 1e-9]), tol=1e-6) == 1
+
+
+def test_fresh_name_and_identifier():
+    reset_names()
+    assert fresh_name("buf") == "buf_0"
+    assert fresh_name("buf") == "buf_1"
+    assert is_identifier("AV_1")
+    assert not is_identifier("1AV")
+    assert not is_identifier("a-b")
+
+
+def test_timer_measures_elapsed():
+    with Timer() as timer:
+        sum(range(10000))
+    assert timer.elapsed >= 0.0
+    assert timer.elapsed_ms == pytest.approx(timer.elapsed * 1e3)

@@ -1,0 +1,177 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GRAPH_SPECS,
+    SCENE_SPECS,
+    build_kernel_map,
+    clebsch_gordan,
+    fully_connected_cg_tensor,
+    generate_scene,
+    list_graphs,
+    list_scenes,
+    load_graph_matrix,
+    random_block_sparse_matrix,
+    random_sparse_matrix,
+    voxelize,
+    wigner_3j,
+)
+from repro.datasets.clebsch_gordan import real_clebsch_gordan_block
+from repro.errors import ShapeError
+
+
+# -- random matrices -------------------------------------------------------------------
+def test_random_sparse_matrix_density():
+    matrix = random_sparse_matrix((200, 200), 0.1, rng=0)
+    assert abs((matrix != 0).mean() - 0.1) < 0.03
+
+
+def test_random_sparse_matrix_density_bounds():
+    with pytest.raises(ShapeError):
+        random_sparse_matrix((10, 10), 1.5)
+
+
+def test_random_block_sparse_matrix_structure():
+    matrix = random_block_sparse_matrix(64, (8, 8), 0.25, rng=1)
+    blocks = matrix.reshape(8, 8, 8, 8).transpose(0, 2, 1, 3)
+    nonzero_blocks = np.any(blocks != 0, axis=(2, 3))
+    full_blocks = np.all(blocks != 0, axis=(2, 3))
+    np.testing.assert_array_equal(nonzero_blocks, full_blocks)  # blocks are dense or empty
+
+
+def test_random_block_sparse_matrix_validation():
+    with pytest.raises(ShapeError):
+        random_block_sparse_matrix(60, (32, 32), 0.1)
+
+
+# -- graphs ----------------------------------------------------------------------------------
+def test_graph_registry_has_fourteen_matrices():
+    assert len(GRAPH_SPECS) == 14
+    assert set(list_graphs()) == set(GRAPH_SPECS)
+
+
+def test_graph_matrix_is_scaled_down():
+    csr = load_graph_matrix("amazon0505", max_rows=1024)
+    assert csr.shape[0] <= 1024
+    spec = GRAPH_SPECS["amazon0505"]
+    generated_degree = csr.nnz / csr.shape[0]
+    assert generated_degree == pytest.approx(spec.average_degree, rel=0.5)
+
+
+def test_graph_skew_property():
+    skewed = load_graph_matrix("artist", max_rows=2048).row_occupancy()
+    regular = load_graph_matrix("DD", max_rows=2048).row_occupancy()
+    skew = lambda occ: occ.max() / max(occ.mean(), 1)
+    assert skew(skewed) > skew(regular)
+
+
+def test_graph_reproducibility():
+    first = load_graph_matrix("cora")
+    second = load_graph_matrix("cora")
+    np.testing.assert_array_equal(first.indices, second.indices)
+
+
+def test_unknown_graph_raises():
+    with pytest.raises(ShapeError):
+        load_graph_matrix("not-a-graph")
+
+
+# -- point clouds --------------------------------------------------------------------------------
+def test_scene_registry():
+    assert len(SCENE_SPECS) == 7
+    assert "conferenceRoom" in list_scenes()
+
+
+def test_scene_generation_and_voxelization():
+    points = generate_scene("office", max_points=3000, rng=2)
+    assert points.shape[1] == 3
+    voxels = voxelize(points, 0.05)
+    assert len(np.unique(voxels, axis=0)) == len(voxels)
+    assert len(voxels) <= len(points)
+
+
+def test_voxelize_validation():
+    with pytest.raises(ShapeError):
+        voxelize(np.zeros((5, 2)))
+    with pytest.raises(ShapeError):
+        voxelize(np.zeros((5, 3)), voxel_size=0.0)
+
+
+def test_kernel_map_structure():
+    points = generate_scene("pantry", max_points=800, rng=3)
+    voxels = voxelize(points, 0.1)
+    kernel_map = build_kernel_map(voxels, kernel_size=3)
+    assert kernel_map.kernel_volume == 27
+    # The centre offset maps every voxel to itself.
+    centre = kernel_map.kernel_volume // 2
+    assert len(kernel_map.pairs[centre]) == kernel_map.num_voxels
+    assert kernel_map.total_pairs >= kernel_map.num_voxels
+    arrays = kernel_map.to_coo_arrays()
+    assert arrays["MAPX"].shape == arrays["MAPY"].shape == arrays["MAPZ"].shape
+    grouped = kernel_map.to_grouped_arrays(group_size=4)
+    assert grouped["MAPX"].shape[1] == 4
+    assert grouped["MAPZ"].shape[0] == grouped["MAPX"].shape[0]
+
+
+def test_kernel_map_validation():
+    with pytest.raises(ShapeError):
+        build_kernel_map(np.zeros((4, 2)))
+    with pytest.raises(ShapeError):
+        build_kernel_map(np.zeros((4, 3), dtype=np.int64), kernel_size=2)
+
+
+def test_unknown_scene_raises():
+    with pytest.raises(ShapeError):
+        generate_scene("basement")
+
+
+# -- Clebsch-Gordan -----------------------------------------------------------------------------------
+def test_wigner_3j_selection_rules():
+    assert wigner_3j(1, 1, 3, 0, 0, 0) == 0.0  # triangle inequality violated
+    assert wigner_3j(1, 1, 2, 1, 1, 0) == 0.0  # m1 + m2 + m3 != 0
+    assert wigner_3j(1, 1, 2, 0, 0, 0) == pytest.approx(np.sqrt(2 / 15))
+
+
+def test_clebsch_gordan_orthogonality():
+    # Sum over m1, m2 of CG^2 for fixed (j1, j2, j3) equals 2*j3 + 1... summed over m3.
+    total = sum(
+        clebsch_gordan(1, m1, 1, m2, 2, m1 + m2) ** 2
+        for m1 in range(-1, 2)
+        for m2 in range(-1, 2)
+        if abs(m1 + m2) <= 2
+    )
+    assert total == pytest.approx(5.0)
+
+
+def test_real_cg_block_is_real_and_orthogonal():
+    block = real_clebsch_gordan_block(1, 1, 2)
+    assert block.shape == (3, 3, 5)
+    norms = np.einsum("ijk,ijl->kl", block, block)
+    np.testing.assert_allclose(norms, np.eye(5) * norms[0, 0], atol=1e-10)
+
+
+def test_forbidden_block_is_zero():
+    assert not real_clebsch_gordan_block(0, 0, 2).any()
+
+
+def test_fully_connected_cg_tensor_structure():
+    cg = fully_connected_cg_tensor(2)
+    assert cg.shape == (9, 9, 9, 15)
+    assert cg.num_paths == 15
+    assert 0 < cg.density < 0.2  # highly sparse
+    arrays = cg.to_coo_arrays()
+    assert len(arrays["CGV"]) == cg.nnz
+    assert cg.slot_dimension() == 9
+
+
+def test_cg_tensor_lmax_zero():
+    cg = fully_connected_cg_tensor(0)
+    assert cg.shape == (1, 1, 1, 1)
+    assert cg.nnz == 1
+
+
+def test_cg_tensor_negative_lmax():
+    with pytest.raises(ShapeError):
+        fully_connected_cg_tensor(-1)

@@ -1,0 +1,159 @@
+"""Tests for GroupCOO, BlockCOO, BCSR, and BlockGroupCOO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import BCSR, BlockCOO, BlockGroupCOO, CSR, GroupCOO
+
+
+# -- GroupCOO -----------------------------------------------------------------------
+def test_groupcoo_roundtrip(medium_sparse_matrix):
+    fmt = GroupCOO.from_dense(medium_sparse_matrix, group_size=3)
+    np.testing.assert_allclose(fmt.to_dense(), medium_sparse_matrix)
+    assert fmt.nnz == np.count_nonzero(medium_sparse_matrix)
+    assert fmt.group_size == 3
+
+
+def test_groupcoo_group_size_one_is_coo(small_sparse_matrix):
+    fmt = GroupCOO.from_dense(small_sparse_matrix, group_size=1)
+    assert fmt.num_groups == fmt.nnz
+    assert fmt.padding_ratio == 0.0
+
+
+def test_groupcoo_max_group_size_is_ell_like(small_sparse_matrix):
+    occ = np.count_nonzero(small_sparse_matrix, axis=1)
+    fmt = GroupCOO.from_dense(small_sparse_matrix, group_size=int(occ.max()))
+    # One group per nonempty row, like ELL without empty rows.
+    assert fmt.num_groups == int((occ > 0).sum())
+
+
+def test_groupcoo_heuristic_group_size(medium_sparse_matrix):
+    fmt = GroupCOO.from_dense(medium_sparse_matrix)
+    assert fmt.group_size >= 1
+    assert fmt.group_size & (fmt.group_size - 1) == 0  # power of two
+
+
+def test_groupcoo_empty_matrix():
+    fmt = GroupCOO.from_dense(np.zeros((4, 6)), group_size=2)
+    assert fmt.num_groups == 0 and fmt.nnz == 0
+    np.testing.assert_allclose(fmt.to_dense(), 0.0)
+
+
+def test_groupcoo_indirect_access_count(medium_sparse_matrix):
+    fmt = GroupCOO.from_dense(medium_sparse_matrix, group_size=4)
+    assert fmt.indirect_access_count() == fmt.num_groups + fmt.num_groups * 4
+
+
+def test_groupcoo_invalid_group_size(medium_sparse_matrix):
+    with pytest.raises(FormatError):
+        GroupCOO.from_dense(medium_sparse_matrix, group_size=0)
+
+
+def test_groupcoo_validation(small_sparse_matrix):
+    with pytest.raises(ShapeError):
+        GroupCOO((8, 12), np.zeros(2, int), np.zeros((3, 2), int), np.zeros((3, 2)))
+    with pytest.raises(ShapeError):
+        GroupCOO((8, 12), np.array([9, 0]), np.zeros((2, 2), int), np.zeros((2, 2)))
+
+
+def test_groupcoo_tensors_naming(medium_sparse_matrix):
+    fmt = GroupCOO.from_dense(medium_sparse_matrix, group_size=2)
+    assert set(fmt.tensors("A")) == {"AV", "AM", "AK"}
+
+
+# -- BlockCOO -------------------------------------------------------------------------
+def test_blockcoo_roundtrip(block_sparse_matrix):
+    fmt = BlockCOO.from_dense(block_sparse_matrix, (8, 8))
+    np.testing.assert_allclose(fmt.to_dense(), block_sparse_matrix)
+    assert fmt.grid_shape == (8, 8)
+    assert fmt.num_blocks == int(
+        np.any(block_sparse_matrix.reshape(8, 8, 8, 8).transpose(0, 2, 1, 3) != 0, axis=(2, 3)).sum()
+    )
+
+
+def test_blockcoo_shape_must_divide():
+    with pytest.raises(ShapeError):
+        BlockCOO.from_dense(np.zeros((10, 10)), (3, 3))
+
+
+def test_blockcoo_rewrite_has_splits(block_sparse_matrix):
+    plan = BlockCOO.from_dense(block_sparse_matrix, (8, 8)).rewrite_plan("A", ["m", "k"])
+    assert plan.substitutions["m"].split_sizes == (8, 8)
+    assert plan.substitutions["k"].split_sizes == (8, 8)
+
+
+# -- BCSR ------------------------------------------------------------------------------
+def test_bcsr_roundtrip(block_sparse_matrix):
+    fmt = BCSR.from_dense(block_sparse_matrix, (8, 8))
+    np.testing.assert_allclose(fmt.to_dense(), block_sparse_matrix)
+    assert fmt.block_row_occupancy().sum() == fmt.num_blocks
+
+
+def test_bcsr_from_blockcoo(block_sparse_matrix):
+    blockcoo = BlockCOO.from_dense(block_sparse_matrix, (8, 8))
+    bcsr = BCSR.from_blockcoo(blockcoo)
+    np.testing.assert_allclose(bcsr.to_dense(), block_sparse_matrix)
+
+
+def test_bcsr_not_fixed_length(block_sparse_matrix):
+    fmt = BCSR.from_dense(block_sparse_matrix, (8, 8))
+    with pytest.raises(FormatError, match="fixed-length"):
+        fmt.rewrite_plan("A", ["m", "k"])
+
+
+def test_bcsr_row_pointer_storage_includes_empty_rows(block_sparse_matrix):
+    fmt = BCSR.from_dense(block_sparse_matrix, (8, 8))
+    assert fmt.indptr.shape == (fmt.num_block_rows + 1,)
+    assert fmt.index_count() == fmt.indptr.size + fmt.indices.size
+
+
+# -- BlockGroupCOO ----------------------------------------------------------------------
+def test_blockgroupcoo_roundtrip(block_sparse_matrix):
+    fmt = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8), group_size=2)
+    np.testing.assert_allclose(fmt.to_dense(), block_sparse_matrix)
+    assert fmt.group_size == 2
+    assert fmt.block_shape == (8, 8)
+
+
+def test_blockgroupcoo_heuristic_group_size(block_sparse_matrix):
+    fmt = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8))
+    assert fmt.group_size >= 1
+
+
+def test_blockgroupcoo_padding_and_counts(block_sparse_matrix):
+    fmt = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8), group_size=3)
+    assert 0 <= fmt.padding_ratio < 1
+    assert fmt.num_stored_blocks == fmt.num_groups * 3
+    assert fmt.indirect_access_count() == fmt.num_groups + fmt.num_stored_blocks
+
+
+def test_blockgroupcoo_memory_smaller_than_padded_ell_like(block_sparse_matrix):
+    small_group = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8), group_size=1)
+    occupancy = np.count_nonzero(
+        np.any(block_sparse_matrix.reshape(8, 8, 8, 8).transpose(0, 2, 1, 3), axis=(2, 3)), axis=1
+    )
+    huge_group = BlockGroupCOO.from_dense(
+        block_sparse_matrix, (8, 8), group_size=int(occupancy.max())
+    )
+    assert small_group.value_count() <= huge_group.value_count()
+
+
+def test_blockgroupcoo_empty_matrix():
+    fmt = BlockGroupCOO.from_dense(np.zeros((16, 16)), (8, 8), group_size=2)
+    assert fmt.num_groups == 0
+    np.testing.assert_allclose(fmt.to_dense(), 0.0)
+
+
+def test_blockgroupcoo_validation():
+    with pytest.raises(ShapeError):
+        BlockGroupCOO((10, 10), (3, 3), np.zeros(0, int), np.zeros((0, 2), int), np.zeros((0, 2, 3, 3)))
+    with pytest.raises(FormatError):
+        BlockGroupCOO.from_dense(np.zeros((16, 16)), (8, 8), group_size=0)
+
+
+def test_blockgroupcoo_csr_conversion_consistency(block_sparse_matrix):
+    # CSR and BlockGroupCOO agree on the underlying matrix.
+    csr = CSR.from_dense(block_sparse_matrix)
+    fmt = BlockGroupCOO.from_dense(block_sparse_matrix, (8, 8), group_size=2)
+    np.testing.assert_allclose(csr.to_dense(), fmt.to_dense())
