@@ -1,0 +1,171 @@
+"""Serving-runtime throughput: requests/sec, cache hit rate, batch speedup.
+
+Not a paper figure — this harness tracks the serving layer added on top of
+the compiler (`repro.runtime`), so later PRs have a throughput trajectory
+to beat:
+
+* ``InsumServer`` on a mixed workload (unstructured SpMM, SpMV, and the
+  equivariant tensor product, over several shapes): requests/sec and
+  plan-cache hit rate.
+* ``StackedSparse`` batched execution vs the per-item Python loop.
+* One-shot ``insum()`` compile-time saving from the process-wide plan
+  cache (cold vs warm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InsumServer, clear_plan_cache, get_plan_cache, insum
+from repro.analysis import format_table
+from repro.formats import COO, GroupCOO
+from repro.kernels import BatchedSpMM, FullyConnectedTensorProduct
+from repro.utils.timing import Timer
+
+NUM_REQUESTS = 150
+STACK_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    """``NUM_REQUESTS`` requests cycling over SpMM, SpMV, and equivariant."""
+    rng = np.random.default_rng(7)
+    spmm_small = GroupCOO.from_dense(
+        np.where(rng.random((128, 192)) < 0.05, rng.standard_normal((128, 192)), 0.0),
+        group_size=4,
+    )
+    spmm_large = GroupCOO.from_dense(
+        np.where(rng.random((256, 256)) < 0.03, rng.standard_normal((256, 256)), 0.0),
+        group_size=4,
+    )
+    spmv = COO.from_dense(
+        np.where(rng.random((192, 192)) < 0.05, rng.standard_normal((192, 192)), 0.0)
+    )
+    equivariant = FullyConnectedTensorProduct(l_max=1, channels=8)
+    x, y, w = equivariant.random_inputs(batch=4, rng=rng)
+    z = np.zeros((4, equivariant.slot_dimension, equivariant.channels))
+    recipes = [
+        ("C[m,n] += A[m,k] * B[k,n]", lambda: dict(A=spmm_small, B=rng.standard_normal((192, 16)))),
+        ("C[m,n] += A[m,k] * B[k,n]", lambda: dict(A=spmm_large, B=rng.standard_normal((256, 16)))),
+        ("y[m] += A[m,k] * x[k]", lambda: dict(A=spmv, x=rng.standard_normal(192))),
+        (
+            equivariant.expression,
+            lambda: dict(Z=z.copy(), X=x, Y=y, W=w, **equivariant._grouped),
+        ),
+    ]
+    return [
+        (expression, make())
+        for expression, make in (recipes[i % len(recipes)] for i in range(NUM_REQUESTS))
+    ]
+
+
+def test_server_throughput_and_hit_rate(mixed_workload, report):
+    clear_plan_cache()
+    with InsumServer(num_workers=4) as server:
+        # Warm-up pass compiles each distinct (expression, signature) once.
+        server.run_batch(mixed_workload[: len(mixed_workload) // 3])
+        server.reset_stats()
+        with Timer() as timer:
+            results = server.run_batch(mixed_workload)
+        stats = server.stats()
+
+    assert all(result.ok for result in results)
+    assert stats.completed == NUM_REQUESTS
+    assert stats.cache_hit_rate > 0.9
+
+    report(
+        "runtime_throughput",
+        format_table(
+            ["metric", "value"],
+            [
+                ["requests", stats.completed],
+                ["wall seconds", f"{timer.elapsed:.3f}"],
+                ["throughput req/s", f"{stats.throughput_rps:.1f}"],
+                ["p50 latency ms", f"{stats.p50_latency_ms:.3f}"],
+                ["p95 latency ms", f"{stats.p95_latency_ms:.3f}"],
+                ["cache hit rate", f"{stats.cache_hit_rate:.3f}"],
+            ],
+            title=f"InsumServer — mixed workload ({NUM_REQUESTS} requests, 4 workers)",
+        ),
+    )
+
+
+def test_stacked_batch_beats_per_item_loop(report):
+    rng = np.random.default_rng(11)
+    mask = rng.random((96, 128)) < 0.08
+    stack = np.where(mask[None], rng.standard_normal((STACK_SIZE, 96, 128)), 0.0)
+    dense = rng.standard_normal((128, 24))
+    op = BatchedSpMM(stack, group_size=4)
+
+    batched_result = op(dense)  # warm both paths before timing
+    loop_result = op.per_item_loop(dense)
+    np.testing.assert_allclose(batched_result, loop_result, atol=1e-10)
+
+    repeats = 5
+    with Timer() as batched_timer:
+        for _ in range(repeats):
+            op(dense)
+    with Timer() as loop_timer:
+        for _ in range(repeats):
+            op.per_item_loop(dense)
+
+    speedup = loop_timer.elapsed / batched_timer.elapsed
+    # The acceptance bar: one widened Einsum over the (stack, nnz) data
+    # array must beat the per-item Python loop on wall-clock.
+    assert batched_timer.elapsed < loop_timer.elapsed
+
+    report(
+        "runtime_stacked_speedup",
+        format_table(
+            ["metric", "value"],
+            [
+                ["stack size", STACK_SIZE],
+                ["batched s/iter", f"{batched_timer.elapsed / repeats:.5f}"],
+                ["per-item loop s/iter", f"{loop_timer.elapsed / repeats:.5f}"],
+                ["speedup", f"{speedup:.2f}x"],
+            ],
+            title="StackedSparse widened Einsum vs per-item sparse_einsum loop",
+        ),
+    )
+
+
+def test_one_shot_compile_saving(report):
+    """The plan-cache satellite: repeated one-shot insum() calls stop recompiling."""
+    rng = np.random.default_rng(13)
+    dense = np.where(rng.random((64, 96)) < 0.1, rng.standard_normal((64, 96)), 0.0)
+    coo = COO.from_dense(dense)
+    tensors = dict(
+        C=np.zeros((64, 32)),
+        AV=coo.values,
+        AM=coo.coords[0],
+        AK=coo.coords[1],
+        B=rng.standard_normal((96, 32)),
+    )
+    expression = "C[AM[p],n] += AV[p] * B[AK[p],n]"
+
+    clear_plan_cache()
+    with Timer() as cold_timer:
+        insum(expression, **tensors)
+    repeats = 20
+    with Timer() as warm_timer:
+        for _ in range(repeats):
+            insum(expression, **tensors)
+    warm_per_call = warm_timer.elapsed / repeats
+    stats = get_plan_cache().stats()
+
+    assert stats.misses == 1 and stats.hits >= repeats
+    assert warm_per_call < cold_timer.elapsed
+
+    report(
+        "runtime_compile_saving",
+        format_table(
+            ["metric", "value"],
+            [
+                ["cold one-shot call s", f"{cold_timer.elapsed:.5f}"],
+                ["warm one-shot call s", f"{warm_per_call:.5f}"],
+                ["saving per call", f"{cold_timer.elapsed / warm_per_call:.1f}x"],
+            ],
+            title="One-shot insum() — process-wide plan cache cold vs warm",
+        ),
+    )

@@ -22,8 +22,17 @@ Public API highlights
 from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
 from repro.core.inductor import InductorConfig
 from repro.core.triton_sim import DeviceModel, RTX3090
+from repro.runtime import (
+    InsumServer,
+    PlanCache,
+    ShardedExecutor,
+    StackedSparse,
+    clear_plan_cache,
+    configure_plan_cache,
+    get_plan_cache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Insum",
@@ -33,5 +42,12 @@ __all__ = [
     "InductorConfig",
     "DeviceModel",
     "RTX3090",
+    "InsumServer",
+    "PlanCache",
+    "ShardedExecutor",
+    "StackedSparse",
+    "clear_plan_cache",
+    "configure_plan_cache",
+    "get_plan_cache",
     "__version__",
 ]

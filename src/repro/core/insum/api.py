@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.einsum.ast import EinsumStatement, IndexVar, TensorAccess
 from repro.core.einsum.parser import parse_einsum
 from repro.core.einsum.rewriting import rewrite_sparse_operand
+from repro.core.einsum.validation import validate
 from repro.core.insum.planner import InsumPlan, plan_insum
 from repro.errors import EinsumValidationError, LoweringError
 from repro.formats.base import SparseFormat
@@ -67,31 +68,60 @@ class Insum:
         self.backend = backend
         self.config = config
         self.check_bounds = check_bounds
-        self._compiled: dict[tuple, Any] = {}
         self.last_plan: InsumPlan | None = None
         self.compile_seconds: float = 0.0
 
     # -- compilation ------------------------------------------------------------
     def _signature(self, tensors: dict[str, np.ndarray]) -> tuple:
-        return tuple(sorted((name, np.asarray(t).shape) for name, t in tensors.items()))
+        """Shape **and** dtype of every operand.
+
+        Dtypes must participate: two calls with identical shapes but
+        different dtypes (say fp32 and fp64 values) would otherwise share
+        one compiled kernel and one cost report.
+        """
+        return tuple(
+            sorted(
+                (name, np.asarray(t).shape, np.asarray(t).dtype.str)
+                for name, t in tensors.items()
+            )
+        )
 
     def compile(self, **tensors: np.ndarray):
-        """Plan and compile for the given tensors, returning the compiled kernel."""
-        key = self._signature(tensors)
-        if key in self._compiled:
-            return self._compiled[key]
-        with Timer() as timer:
-            plan = plan_insum(self.statement, tensors, check_bounds=self.check_bounds)
-            self.last_plan = plan
-            if self.backend == "eager":
-                compiled = _EagerKernel(plan)
-            else:
-                from repro.core.inductor import compile_plan
+        """Plan and compile for the given tensors, returning the compiled kernel.
 
-                compiled = compile_plan(plan, config=self.config)
+        Compilation is routed through the process-wide
+        :class:`~repro.runtime.plan_cache.PlanCache`, so distinct
+        :class:`Insum` instances (and one-shot :func:`insum` calls) reuse
+        each other's kernels.  On a cache hit with ``check_bounds=True``
+        the (cheap) validation pass still runs, because bounds depend on
+        the metadata *values*, which are not part of the cache key.
+        """
+        from repro.runtime.plan_cache import CachedPlan, get_plan_cache, plan_key
+
+        cache = get_plan_cache()
+        key = plan_key(
+            self.expression,
+            self.backend,
+            self.config,
+            self.check_bounds,
+            self._signature(tensors),
+        )
+        with Timer() as timer:
+            entry = cache.get(key)
+            if entry is None:
+                plan = plan_insum(self.statement, tensors, check_bounds=self.check_bounds)
+                if self.backend == "eager":
+                    compiled = _EagerKernel(plan)
+                else:
+                    from repro.core.inductor import compile_plan
+
+                    compiled = compile_plan(plan, config=self.config)
+                entry = cache.put(key, CachedPlan(plan=plan, compiled=compiled))
+            elif self.check_bounds:
+                validate(self.statement, tensors, check_bounds=True)
         self.compile_seconds += timer.elapsed
-        self._compiled[key] = compiled
-        return compiled
+        self.last_plan = entry.plan
+        return entry.compiled
 
     def __call__(self, **tensors: np.ndarray) -> np.ndarray:
         """Execute the Einsum on the given tensors."""
@@ -249,9 +279,12 @@ class SparseEinsum:
                 config=self.config,
                 check_bounds=self.check_bounds,
             )
-        result = self.operator(**tensors)
+        # Compile once (through the plan cache) and run the same kernel, so
+        # each execution costs exactly one cache lookup.
+        compiled = self.operator.compile(**tensors)
         if self.backend == "inductor":
-            self._last_compiled = self.operator.compile(**tensors)
+            self._last_compiled = compiled
+        result = compiled.run(tensors)
         return np.asarray(result).reshape(logical_shape)
 
     def estimate(self, **operands: Any) -> Any:

@@ -120,6 +120,11 @@ class BCSR(SparseFormat):
             f"{name}V": self.values,
         }
 
+    # -- runtime hooks ------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "BCSR":
+        """Same block structure, new block values (the stacking primitive)."""
+        return BCSR(self._shape, self.block_shape, self.indptr, self.indices, values)
+
     def value_count(self) -> int:
         return int(self.values.size)
 

@@ -133,6 +133,23 @@ class BlockCOO(SparseFormat):
             tensors=self.tensors(name),
         )
 
+    # -- runtime hooks ------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "BlockCOO":
+        """Same block coordinates, new block values (the stacking primitive)."""
+        return BlockCOO(self._shape, self.block_shape, self.block_rows, self.block_cols, values)
+
+    def scatter_row_ids(self) -> np.ndarray:
+        return self.block_rows
+
+    def select_units(self, selector: np.ndarray) -> "BlockCOO":
+        return BlockCOO(
+            self._shape,
+            self.block_shape,
+            self.block_rows[selector],
+            self.block_cols[selector],
+            self.values[selector],
+        )
+
     # -- storage accounting -----------------------------------------------------------
     def value_count(self) -> int:
         return int(self.values.size)

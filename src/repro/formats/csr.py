@@ -101,6 +101,11 @@ class CSR(SparseFormat):
             f"{name}V": self.data,
         }
 
+    # -- runtime hooks ------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "CSR":
+        """Same pointers and columns, new data (the stacking primitive)."""
+        return CSR(self._shape, self.indptr, self.indices, values)
+
     def value_count(self) -> int:
         return self.nnz
 

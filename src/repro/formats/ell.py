@@ -115,6 +115,15 @@ class ELL(SparseFormat):
             candidate += "q"
         return candidate
 
+    # -- runtime hooks -------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "ELL":
+        """Same padded columns and occupancy, new values (the stacking primitive).
+
+        Occupancy is carried over, not recomputed: a stacked operand may
+        legitimately store an explicit zero in a pattern slot.
+        """
+        return ELL(self._shape, values, self.columns, self.occupancy)
+
     # -- storage accounting --------------------------------------------------------
     def value_count(self) -> int:
         return int(self.values.size)

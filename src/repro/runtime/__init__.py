@@ -1,0 +1,46 @@
+"""The serving runtime: plan caching, batching, sharding, and a front door.
+
+This package turns the Insum compiler into a serving engine (the
+ROADMAP's "production-scale" direction):
+
+* :mod:`repro.runtime.plan_cache` — one process-wide LRU of compiled
+  kernels, consulted by every operator and one-shot helper.
+* :mod:`repro.runtime.stacked` — :class:`StackedSparse`, a DSBCOO-style
+  batch of same-pattern sparse operands executed as one widened Einsum.
+* :mod:`repro.runtime.sharding` — :class:`ShardedExecutor`, row-partitioned
+  parallel execution on a thread pool with a deterministic merge.
+* :mod:`repro.runtime.server` — :class:`InsumServer`, submit/gather request
+  queuing over reusable per-expression operators.
+* :mod:`repro.runtime.stats` — :class:`RuntimeStats`, the throughput /
+  latency / cache-hit-rate report.
+"""
+
+from repro.runtime.plan_cache import (
+    CachedPlan,
+    PlanCache,
+    PlanCacheStats,
+    clear_plan_cache,
+    configure_plan_cache,
+    get_plan_cache,
+    plan_key,
+)
+from repro.runtime.server import InsumRequest, InsumResult, InsumServer
+from repro.runtime.sharding import ShardedExecutor
+from repro.runtime.stacked import StackedSparse
+from repro.runtime.stats import RuntimeStats
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "clear_plan_cache",
+    "configure_plan_cache",
+    "get_plan_cache",
+    "plan_key",
+    "InsumRequest",
+    "InsumResult",
+    "InsumServer",
+    "ShardedExecutor",
+    "StackedSparse",
+    "RuntimeStats",
+]

@@ -1,0 +1,213 @@
+"""Process-wide LRU cache of compiled Insum plans.
+
+Compilation (parse → validate → plan → lower → autotune → cost model) is
+the dominant cost of a one-shot ``insum()`` / ``sparse_einsum()`` call:
+the NumPy execution of a small kernel takes microseconds while the
+compile pipeline takes milliseconds.  The serving runtime therefore keeps
+one process-wide cache of compiled kernels, keyed by everything that can
+change the generated code:
+
+* the Einsum expression string,
+* the backend ("inductor" or "eager") and its configuration,
+* whether bounds checking was requested at plan time, and
+* the *signature* of the bound tensors — every operand's shape **and**
+  dtype (two calls with identical shapes but different dtypes must not
+  share one compiled kernel).
+
+:class:`Insum`, and through it the one-shot helpers and
+:class:`SparseEinsum`, route every compilation through
+:func:`get_plan_cache`, so repeated one-shot calls stop recompiling and a
+server can report a meaningful hit rate.
+
+This module deliberately has no dependency on the compiler packages so it
+can be imported from ``repro.core.insum.api`` without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Immutable snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, earlier: "PlanCacheStats") -> "PlanCacheStats":
+        """Counter deltas relative to an earlier snapshot (same cache)."""
+        return PlanCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            size=self.size,
+            maxsize=self.maxsize,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"plan cache: {self.size}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"(hit rate {self.hit_rate:.1%}), {self.evictions} evictions"
+        )
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One cache entry: the plan and the backend-compiled kernel."""
+
+    plan: Any
+    compiled: Any
+
+
+class PlanCache:
+    """A thread-safe LRU cache mapping plan keys to compiled kernels.
+
+    Entries are promoted to most-recently-used on every hit; inserting
+    beyond ``maxsize`` evicts the least-recently-used entry.  All three
+    counters (hits, misses, evictions) are monotonic so callers can take
+    snapshot deltas around a workload.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[Hashable, CachedPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core operations ----------------------------------------------------
+    def get(self, key: Hashable) -> CachedPlan | None:
+        """Look up a compiled plan, counting a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, entry: CachedPlan) -> CachedPlan:
+        """Insert an entry, evicting the least-recently-used beyond maxsize.
+
+        If another thread inserted the same key first, the earlier entry
+        wins (so concurrent compiles of the same program converge on one
+        kernel object).
+        """
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- management ---------------------------------------------------------
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def resize(self, maxsize: int) -> None:
+        """Change capacity, evicting LRU entries if the cache shrank."""
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+        with self._lock:
+            self._maxsize = int(maxsize)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop all entries; optionally zero the counters as well."""
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def __repr__(self) -> str:
+        return f"PlanCache({self.stats().summary()})"
+
+
+# ---------------------------------------------------------------------------
+# Key construction
+# ---------------------------------------------------------------------------
+def plan_key(
+    expression: str,
+    backend: str,
+    config: Any,
+    check_bounds: bool,
+    signature: Hashable,
+) -> tuple:
+    """Build the canonical cache key for one compilation.
+
+    ``config`` is folded in through its ``repr`` — ``InductorConfig`` is a
+    plain dataclass (of bools, strings, a tile dict, and a frozen device
+    model), so equal configurations produce equal reprs without requiring
+    hashability.
+    """
+    return (expression, backend, repr(config), bool(check_bounds), signature)
+
+
+# ---------------------------------------------------------------------------
+# The process-wide cache
+# ---------------------------------------------------------------------------
+_GLOBAL_CACHE = PlanCache()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache shared by every operator."""
+    return _GLOBAL_CACHE
+
+
+def configure_plan_cache(maxsize: int) -> PlanCache:
+    """Resize the process-wide cache (keeping current entries when possible)."""
+    with _GLOBAL_LOCK:
+        _GLOBAL_CACHE.resize(maxsize)
+        return _GLOBAL_CACHE
+
+
+def clear_plan_cache(reset_stats: bool = True) -> None:
+    """Empty the process-wide cache (used by tests and benchmarks)."""
+    _GLOBAL_CACHE.clear(reset_stats=reset_stats)

@@ -1,0 +1,335 @@
+"""InsumServer: an async-style serving front door for compiled sparse Einsums.
+
+The compiler stack below this module is request-free: every entry point
+takes one expression and one set of operands.  ``InsumServer`` turns it
+into a small serving engine:
+
+* ``submit()`` enqueues a request and returns a ticket immediately;
+  ``gather()`` blocks until the requested tickets complete.
+* A pool of worker threads drains the queue.  Each distinct
+  ``(expression, backend)`` pair gets one long-lived reusable operator
+  (:class:`SparseEinsum` for format-agnostic requests with a sparse
+  operand, :class:`Insum` for raw indirect Einsums), guarded by a
+  per-operator lock — so different expressions execute concurrently while
+  one expression's operator state stays consistent.
+* All compilation funnels through the process-wide
+  :class:`~repro.runtime.plan_cache.PlanCache`; the server reports the
+  cache's hit rate over its own serving window.
+* ``stats()`` returns a :class:`~repro.runtime.stats.RuntimeStats` with
+  throughput (requests/s) and p50/p95/mean/max latency.
+
+The server is deliberately synchronous-friendly: requests produce results
+identical to calling ``sparse_einsum`` / ``insum`` directly, because the
+workers run exactly that code path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.insum.api import Insum, SparseEinsum
+from repro.formats.base import SparseFormat
+from repro.runtime.plan_cache import PlanCacheStats, get_plan_cache
+from repro.runtime.sharding import ShardedExecutor
+from repro.runtime.stats import RuntimeStats, build_stats
+from repro.utils.timing import LatencyRecorder
+
+
+@dataclass
+class InsumRequest:
+    """One queued unit of work."""
+
+    request_id: int
+    expression: str
+    operands: dict[str, Any]
+    submitted_at: float
+
+
+@dataclass
+class InsumResult:
+    """Outcome of one request: either an output array or an error."""
+
+    request_id: int
+    expression: str
+    output: np.ndarray | None = None
+    error: BaseException | None = None
+    latency_ms: float = 0.0
+    queue_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> np.ndarray:
+        """The output array, re-raising the worker-side error if any."""
+        if self.error is not None:
+            raise self.error
+        assert self.output is not None
+        return self.output
+
+
+@dataclass
+class _OperatorSlot:
+    operator: Any
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class InsumServer:
+    """Batched, cached, multi-worker serving of sparse Einsum requests.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker threads draining the request queue.
+    backend / config / check_bounds:
+        Defaults for every operator the server builds.
+    num_shards:
+        When > 1, requests with a shardable sparse operand run through a
+        :class:`~repro.runtime.sharding.ShardedExecutor` instead of a
+        single sequential kernel.  Off by default — sequential execution
+        keeps results bit-identical to direct ``sparse_einsum`` calls.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        backend: str = "inductor",
+        config: Any | None = None,
+        check_bounds: bool = True,
+        num_shards: int = 1,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.backend = backend
+        self.config = config
+        self.check_bounds = check_bounds
+        self.num_shards = int(num_shards)
+
+        self._queue: queue.Queue[InsumRequest | None] = queue.Queue()
+        self._results: dict[int, InsumResult] = {}
+        self._pending: set[int] = set()
+        self._done = threading.Condition()
+        self._operators: dict[tuple[str, str], _OperatorSlot] = {}
+        self._operators_lock = threading.Lock()
+        self._ids = itertools.count()
+        self._latencies = LatencyRecorder()
+        self._completed = 0
+        self._failed = 0
+        self._window_started: float | None = None
+        self._window_finished: float | None = None
+        self._cache_mark: PlanCacheStats = get_plan_cache().stats()
+        self._closed = False
+        # One long-lived executor (and thread pool) for all sharded
+        # requests; None when sharding is off.
+        self._sharded_executor = (
+            ShardedExecutor(
+                num_shards=self.num_shards,
+                backend=backend,
+                config=config,
+                check_bounds=check_bounds,
+                persistent_pool=True,
+            )
+            if self.num_shards > 1
+            else None
+        )
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"insum-worker-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers after the queue drains."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join()
+        if self._sharded_executor is not None:
+            self._sharded_executor.close()
+
+    def __enter__(self) -> "InsumServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, expression: str, **operands: Any) -> int:
+        """Enqueue one request; returns a ticket for :meth:`gather`."""
+        if self._closed:
+            raise RuntimeError("InsumServer is closed")
+        request = InsumRequest(
+            request_id=next(self._ids),
+            expression=expression,
+            operands=operands,
+            submitted_at=time.perf_counter(),
+        )
+        if self._window_started is None:
+            self._window_started = request.submitted_at
+        with self._done:
+            self._pending.add(request.request_id)
+        self._queue.put(request)
+        return request.request_id
+
+    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Enqueue ``(expression, operands)`` pairs; returns their tickets."""
+        return [self.submit(expression, **operands) for expression, operands in requests]
+
+    # -- completion ---------------------------------------------------------
+    def gather(
+        self, request_ids: Sequence[int] | None = None, timeout: float | None = None
+    ) -> list[InsumResult]:
+        """Wait for the given tickets (or everything submitted) to complete.
+
+        Results are returned in ticket order.  Gathered tickets are
+        consumed: a second ``gather`` of the same id — or an id that was
+        never issued — raises ``KeyError`` instead of blocking.
+        """
+        if request_ids is None:
+            if timeout is None:
+                self._queue.join()
+            else:
+                self._join_with_timeout(timeout)
+            with self._done:
+                request_ids = sorted(self._results)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: list[InsumResult] = []
+        with self._done:
+            for request_id in request_ids:
+                while request_id not in self._results:
+                    if request_id not in self._pending:
+                        raise KeyError(
+                            f"request {request_id} is not in flight (never submitted or "
+                            "already gathered)"
+                        )
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            f"request {request_id} did not complete within the timeout"
+                        )
+                    self._done.wait(remaining)
+                self._pending.discard(request_id)
+                results.append(self._results.pop(request_id))
+        return results
+
+    def run_batch(
+        self, requests: Iterable[tuple[str, dict[str, Any]]]
+    ) -> list[InsumResult]:
+        """Submit a batch and gather it, preserving order."""
+        tickets = self.submit_many(requests)
+        return self.gather(tickets)
+
+    def _join_with_timeout(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._queue.unfinished_tasks == 0:
+                return
+            time.sleep(0.001)
+        raise TimeoutError("request queue did not drain within the timeout")
+
+    # -- execution ----------------------------------------------------------
+    def _operator_for(self, expression: str, has_sparse: bool) -> _OperatorSlot:
+        key = (expression, "sparse" if has_sparse else "indirect")
+        with self._operators_lock:
+            slot = self._operators.get(key)
+            if slot is None:
+                if has_sparse:
+                    operator: Any = SparseEinsum(
+                        expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                    )
+                else:
+                    operator = Insum(
+                        expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                    )
+                slot = _OperatorSlot(operator=operator)
+                self._operators[key] = slot
+            return slot
+
+    def _execute(self, request: InsumRequest) -> np.ndarray:
+        has_sparse = any(
+            isinstance(value, SparseFormat) for value in request.operands.values()
+        )
+        if has_sparse and self._sharded_executor is not None:
+            sharded = self._sharded_executor.try_run(request.expression, **request.operands)
+            if sharded is not None:
+                return sharded
+            # Not shardable (format without row hooks, or a single shard):
+            # fall through to the cached per-expression operator.
+        slot = self._operator_for(request.expression, has_sparse)
+        with slot.lock:
+            return slot.operator(**request.operands)
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:
+                self._queue.task_done()
+                return
+            started = time.perf_counter()
+            result = InsumResult(
+                request_id=request.request_id,
+                expression=request.expression,
+                queue_ms=(started - request.submitted_at) * 1e3,
+            )
+            try:
+                result.output = self._execute(request)
+            except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
+                result.error = error
+            finished = time.perf_counter()
+            result.latency_ms = (finished - request.submitted_at) * 1e3
+            self._latencies.record(result.latency_ms)
+            with self._done:
+                self._results[request.request_id] = result
+                if result.ok:
+                    self._completed += 1
+                else:
+                    self._failed += 1
+                self._window_finished = finished
+                self._done.notify_all()
+            self._queue.task_done()
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """Throughput, latency percentiles, and cache hit rate so far."""
+        wall = 0.0
+        if self._window_started is not None and self._window_finished is not None:
+            wall = max(0.0, self._window_finished - self._window_started)
+        cache_delta = get_plan_cache().stats().since(self._cache_mark)
+        with self._done:
+            completed, failed = self._completed, self._failed
+        return build_stats(completed, failed, wall, self._latencies, cache_delta)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (counters, latencies, cache mark)."""
+        with self._done:
+            self._completed = 0
+            self._failed = 0
+            self._window_started = None
+            self._window_finished = None
+        self._latencies.reset()
+        self._cache_mark = get_plan_cache().stats()
+
+    @property
+    def expressions_served(self) -> list[str]:
+        """Distinct expressions with a live reusable operator."""
+        with self._operators_lock:
+            return sorted({expression for expression, _ in self._operators})

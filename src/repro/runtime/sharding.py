@@ -1,0 +1,208 @@
+"""ShardedExecutor: row-partitioned parallel execution of sparse Einsums.
+
+The indirect-Einsum executor is single-threaded NumPy.  For large operands
+the output iteration space can be *row-partitioned*: every stored unit of
+the sparse operand (a nonzero, group, or block) contributes to exactly one
+output row, so splitting the units by output row yields shards whose
+outputs have **disjoint row support**.  Each shard runs the ordinary
+``sparse_einsum`` pipeline on a thread pool — the hot NumPy ops (einsum,
+take, add.at) release the GIL — and the merge is a deterministic
+shard-order sum of partials, which is exact because at every output
+position at most one shard contributes.
+
+Formats opt in through two hooks (``scatter_row_ids`` / ``select_units``,
+see :mod:`repro.formats.base`); anything else — and expressions whose
+sparse operand feeds multiple output rows — falls back to sequential
+execution, so the executor is always safe to use as a drop-in.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.core.insum.api import SparseEinsum
+from repro.errors import EinsumValidationError, FormatError
+from repro.formats.base import SparseFormat
+
+
+class ShardedExecutor:
+    """Execute ``sparse_einsum`` requests across row shards on a thread pool.
+
+    Parameters
+    ----------
+    num_shards:
+        Target number of row partitions (shards holding no units are
+        dropped, so fewer may run).
+    max_workers:
+        Thread-pool width; defaults to ``num_shards``.
+    backend / config / check_bounds:
+        Passed through to the per-shard operators.
+    persistent_pool:
+        Keep one thread pool alive across ``run`` calls (used by
+        :class:`~repro.runtime.server.InsumServer` so per-request pool
+        setup is not paid on the serving path); call :meth:`close` when
+        done.  The default creates a pool per sharded request.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        max_workers: int | None = None,
+        backend: str = "inductor",
+        config: Any | None = None,
+        check_bounds: bool = True,
+        persistent_pool: bool = False,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.max_workers = int(max_workers) if max_workers is not None else self.num_shards
+        self.backend = backend
+        self.config = config
+        self.check_bounds = check_bounds
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers) if persistent_pool else None
+        #: How the most recent request executed: "sharded" or "sequential".
+        self.last_mode: str | None = None
+        #: Number of shards the most recent request actually ran.
+        self.last_num_shards: int = 0
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op for per-request pools)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- public API ---------------------------------------------------------
+    def run(self, expression: str, **operands: Any) -> np.ndarray:
+        """Execute one format-agnostic Einsum, sharded when possible."""
+        result = self.try_run(expression, **operands)
+        if result is None:
+            result = self._run_sequential(expression, operands)
+        return result
+
+    def try_run(self, expression: str, **operands: Any) -> np.ndarray | None:
+        """Execute sharded, or return ``None`` when the operand cannot shard.
+
+        Callers with their own (cached) sequential path — the server's
+        per-expression operator slots — use this to avoid paying for a
+        throwaway operator on the fallback.
+        """
+        sparse_names = [
+            name for name, value in operands.items() if isinstance(value, SparseFormat)
+        ]
+        if len(sparse_names) != 1:
+            raise EinsumValidationError(
+                "ShardedExecutor expects exactly one SparseFormat operand, got "
+                f"{sparse_names or 'none'}"
+            )
+        sparse_name = sparse_names[0]
+        shards = self._partition(operands[sparse_name])
+        if shards is None or len(shards) < 2:
+            return None
+        return self._run_sharded(expression, operands, sparse_name, shards)
+
+    # -- partitioning -------------------------------------------------------
+    def _partition(self, fmt: SparseFormat) -> list[SparseFormat] | None:
+        """Row-partition a format into up to ``num_shards`` non-empty shards.
+
+        Units are assigned by quantising their output-row coordinate, so
+        every output row's contributions land in exactly one shard and the
+        relative storage order inside each shard matches the unsharded
+        traversal.
+        """
+        try:
+            row_ids = np.asarray(fmt.scatter_row_ids())
+        except FormatError:
+            return None
+        if row_ids.size == 0:
+            return None
+        num_rows = self._output_rows(fmt)
+        if num_rows <= 0:
+            return None
+        shard_of_unit = (row_ids * self.num_shards) // num_rows
+        shards: list[SparseFormat] = []
+        for shard in range(self.num_shards):
+            mask = shard_of_unit == shard
+            if not mask.any():
+                continue
+            shards.append(fmt.select_units(mask))
+        return shards
+
+    @staticmethod
+    def _output_rows(fmt: SparseFormat) -> int:
+        """Extent of the row coordinate space ``scatter_row_ids`` indexes."""
+        # Stacked operands partition by their base matrix's rows; block
+        # formats partition by block rows.
+        base = getattr(fmt, "base", fmt)
+        grid = getattr(base, "grid_shape", None)
+        if grid is not None:
+            return int(grid[0])
+        return int(base.shape[0])
+
+    # -- execution ----------------------------------------------------------
+    def _run_sequential(self, expression: str, operands: dict[str, Any]) -> np.ndarray:
+        self.last_mode = "sequential"
+        self.last_num_shards = 1
+        operator = SparseEinsum(
+            expression, backend=self.backend, config=self.config, check_bounds=self.check_bounds
+        )
+        return operator(**operands)
+
+    def _run_sharded(
+        self,
+        expression: str,
+        operands: dict[str, Any],
+        sparse_name: str,
+        shards: list[SparseFormat],
+    ) -> np.ndarray:
+        self.last_mode = "sharded"
+        self.last_num_shards = len(shards)
+
+        dense_operands = {k: v for k, v in operands.items() if k != sparse_name}
+        # A user-provided output (accumulate semantics) must be added exactly
+        # once, so only shard 0 sees it; the other shards start from zeros.
+        from repro.core.einsum.parser import parse_einsum
+
+        output_name = parse_einsum(expression).lhs.tensor
+        initial_output = dense_operands.pop(output_name, None)
+
+        def run_shard(position: int, shard: SparseFormat) -> np.ndarray:
+            # Every worker gets its own operator: SparseEinsum instances are
+            # not thread-safe, but compilation converges in the shared plan
+            # cache so at most one compile per distinct shard signature runs.
+            operator = SparseEinsum(
+                expression,
+                backend=self.backend,
+                config=self.config,
+                check_bounds=self.check_bounds,
+            )
+            shard_operands = dict(dense_operands)
+            shard_operands[sparse_name] = shard
+            if position == 0 and initial_output is not None:
+                shard_operands[output_name] = initial_output
+            return operator(**shard_operands)
+
+        if self._pool is not None:
+            futures = [
+                self._pool.submit(run_shard, position, shard)
+                for position, shard in enumerate(shards)
+            ]
+            partials = [future.result() for future in futures]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(run_shard, position, shard)
+                    for position, shard in enumerate(shards)
+                ]
+                partials = [future.result() for future in futures]
+
+        # Deterministic merge in shard order.  Row shards have disjoint
+        # support, so the sum is exact (each position adds at most one
+        # nonzero partial to zeros).
+        result = partials[0]
+        for partial in partials[1:]:
+            result = result + partial
+        return result

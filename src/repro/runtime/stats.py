@@ -1,0 +1,74 @@
+"""RuntimeStats: the serving runtime's throughput / latency / cache report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.plan_cache import PlanCacheStats
+from repro.utils.timing import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """One immutable report covering a window of served requests.
+
+    Built by :meth:`repro.runtime.server.InsumServer.stats` from the
+    per-request latency samples (:class:`~repro.utils.timing.LatencyRecorder`)
+    and a delta of the process-wide plan-cache counters over the window.
+    """
+
+    completed: int
+    failed: int
+    wall_seconds: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock serving time."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Plan-cache hit rate over this serving window (0.0 when idle)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"requests   : {self.completed} completed, {self.failed} failed "
+                f"in {self.wall_seconds:.3f}s ({self.throughput_rps:.1f} req/s)",
+                f"latency    : p50 {self.p50_latency_ms:.3f} ms, "
+                f"p95 {self.p95_latency_ms:.3f} ms, "
+                f"mean {self.mean_latency_ms:.3f} ms, "
+                f"max {self.max_latency_ms:.3f} ms",
+                f"plan cache : {self.cache_hits} hits / {self.cache_misses} misses "
+                f"(hit rate {self.cache_hit_rate:.1%})",
+            ]
+        )
+
+
+def build_stats(
+    completed: int,
+    failed: int,
+    wall_seconds: float,
+    latencies: LatencyRecorder,
+    cache_delta: PlanCacheStats,
+) -> RuntimeStats:
+    """Assemble a :class:`RuntimeStats` from the server's raw collectors."""
+    return RuntimeStats(
+        completed=completed,
+        failed=failed,
+        wall_seconds=wall_seconds,
+        p50_latency_ms=latencies.p50_ms(),
+        p95_latency_ms=latencies.p95_ms(),
+        mean_latency_ms=latencies.mean_ms(),
+        max_latency_ms=latencies.max_ms(),
+        cache_hits=cache_delta.hits,
+        cache_misses=cache_delta.misses,
+    )

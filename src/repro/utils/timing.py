@@ -1,8 +1,11 @@
-"""A tiny wall-clock timer used by the compile-time measurements (Table 3)."""
+"""Wall-clock timing: the Table 3 compile-time stopwatch plus the latency
+statistics (percentiles) used by the serving runtime's reports."""
 
 from __future__ import annotations
 
+import threading
 import time
+from typing import Sequence
 
 
 class Timer:
@@ -32,3 +35,67 @@ class Timer:
     def elapsed_ms(self) -> float:
         """Elapsed time in milliseconds."""
         return self.elapsed * 1e3
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default behaviour but works on plain
+    Python lists without an array round-trip; returns 0.0 for an empty
+    sample set so latency reports degrade gracefully.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    values = sorted(samples)
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return float(values[0])
+    rank = (len(values) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(values) - 1)
+    fraction = rank - low
+    return float(values[low] * (1.0 - fraction) + values[high] * fraction)
+
+
+class LatencyRecorder:
+    """Thread-safe collector of per-request latencies (milliseconds).
+
+    The serving runtime records one sample per completed request and
+    reports p50/p95 through :func:`percentile`.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, latency_ms: float) -> None:
+        with self._lock:
+            self._samples.append(float(latency_ms))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def samples(self) -> list[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def p50_ms(self) -> float:
+        return percentile(self.samples(), 50.0)
+
+    def p95_ms(self) -> float:
+        return percentile(self.samples(), 95.0)
+
+    def mean_ms(self) -> float:
+        samples = self.samples()
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def max_ms(self) -> float:
+        samples = self.samples()
+        return max(samples) if samples else 0.0

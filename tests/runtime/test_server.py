@@ -1,0 +1,156 @@
+"""End-to-end tests for the InsumServer front door."""
+
+import numpy as np
+import pytest
+
+from repro import InsumServer, insum, sparse_einsum
+from repro.errors import EinsumValidationError
+from repro.formats import COO, GroupCOO
+
+
+def _mixed_workload(rng, count=100):
+    """``count`` requests cycling over three distinct expressions.
+
+    Shapes are fixed per expression so a warm plan cache serves every
+    repeat — the serving pattern the runtime is built for.
+    """
+    spmm_matrix = np.where(rng.random((32, 48)) < 0.2, rng.standard_normal((32, 48)), 0.0)
+    spmv_matrix = np.where(rng.random((24, 24)) < 0.3, rng.standard_normal((24, 24)), 0.0)
+    spmm = GroupCOO.from_dense(spmm_matrix, group_size=4)
+    spmv = COO.from_dense(spmv_matrix)
+    recipes = [
+        ("C[m,n] += A[m,k] * B[k,n]", lambda: dict(A=spmm, B=rng.standard_normal((48, 8)))),
+        ("y[m] += A[m,k] * x[k]", lambda: dict(A=spmv, x=rng.standard_normal(24))),
+        ("C[m,n] += A[k,m] * B[k,n]", lambda: dict(A=spmv, B=rng.standard_normal((24, 6)))),
+    ]
+    return [
+        (expression, make())
+        for expression, make in (recipes[i % len(recipes)] for i in range(count))
+    ]
+
+
+def test_mixed_100_request_workload_end_to_end(rng):
+    """The ISSUE acceptance scenario: 100 requests over 3 expressions.
+
+    Every request's output must be identical to a direct ``sparse_einsum``
+    call (same code path, deterministic NumPy execution), and the plan
+    cache must serve >90% of lookups over the window.
+    """
+    requests = _mixed_workload(rng, count=100)
+    with InsumServer(num_workers=4) as server:
+        results = server.run_batch(requests)
+        stats = server.stats()
+
+    assert len(results) == 100
+    assert stats.completed == 100 and stats.failed == 0
+    for result, (expression, operands) in zip(results, requests):
+        assert result.ok
+        np.testing.assert_array_equal(result.unwrap(), sparse_einsum(expression, **operands))
+    assert len({expression for expression, _ in requests}) == 3
+    assert stats.cache_hit_rate > 0.9
+    assert stats.throughput_rps > 0
+    assert stats.p95_latency_ms >= stats.p50_latency_ms > 0
+    assert "hit rate" in stats.summary()
+
+
+def test_submit_gather_out_of_order(rng):
+    dense = np.where(rng.random((8, 8)) < 0.5, rng.standard_normal((8, 8)), 0.0)
+    fmt = COO.from_dense(dense)
+    with InsumServer(num_workers=2) as server:
+        first = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(8))
+        second = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=2.0 * np.eye(8))
+        late, early = server.gather([second, first])
+    np.testing.assert_allclose(early.unwrap(), dense, atol=1e-12)
+    np.testing.assert_allclose(late.unwrap(), 2.0 * dense, atol=1e-12)
+    assert early.request_id == first and late.request_id == second
+
+
+def test_dense_indirect_requests_use_insum_path(rng):
+    coo = COO.from_dense(np.where(rng.random((8, 12)) < 0.4, 1.0, 0.0))
+    b = rng.standard_normal((12, 4))
+    operands = dict(
+        C=np.zeros((8, 4)), AV=coo.values, AM=coo.coords[0], AK=coo.coords[1], B=b
+    )
+    expression = "C[AM[p],n] += AV[p] * B[AK[p],n]"
+    with InsumServer(num_workers=2) as server:
+        ticket = server.submit(expression, **operands)
+        (result,) = server.gather([ticket])
+    np.testing.assert_array_equal(result.unwrap(), insum(expression, **operands))
+
+
+def test_failed_request_reports_error_and_server_survives(rng):
+    fmt = COO.from_dense(np.eye(4))
+    with InsumServer(num_workers=2) as server:
+        bad = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.zeros((7, 3)))
+        good = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        bad_result, good_result = server.gather([bad, good])
+        stats = server.stats()
+    assert not bad_result.ok
+    with pytest.raises(EinsumValidationError):
+        bad_result.unwrap()
+    assert good_result.ok
+    np.testing.assert_array_equal(good_result.unwrap(), np.eye(4))
+    assert stats.failed == 1 and stats.completed == 1
+
+
+def test_gather_all_without_tickets(rng):
+    fmt = COO.from_dense(np.eye(4))
+    with InsumServer(num_workers=2) as server:
+        for scale in (1.0, 2.0, 3.0):
+            server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=scale * np.eye(4))
+        results = server.gather()
+    assert [r.request_id for r in results] == [0, 1, 2]
+    assert all(r.ok for r in results)
+
+
+def test_operator_reuse_across_requests(rng):
+    fmt = COO.from_dense(np.eye(4))
+    with InsumServer(num_workers=1) as server:
+        for _ in range(5):
+            server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.gather()
+        assert server.expressions_served == ["C[m,n] += A[m,k] * B[k,n]"]
+
+
+def test_reset_stats_opens_new_window(rng):
+    fmt = COO.from_dense(np.eye(4))
+    with InsumServer(num_workers=1) as server:
+        server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.gather()
+        server.reset_stats()
+        assert server.stats().completed == 0
+        server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.gather()
+        stats = server.stats()
+    assert stats.completed == 1
+    assert stats.cache_hit_rate == 1.0  # warm cache: the repeat is a pure hit
+
+
+def test_sharded_server_matches_unsharded(rng):
+    dense = np.where(rng.random((64, 32)) < 0.2, np.round(rng.standard_normal((64, 32)) * 8), 0.0)
+    fmt = GroupCOO.from_dense(dense, group_size=4)
+    b = np.round(rng.standard_normal((32, 6)) * 8)
+    expression = "C[m,n] += A[m,k] * B[k,n]"
+    with InsumServer(num_workers=2, num_shards=4) as server:
+        ticket = server.submit(expression, A=fmt, B=b)
+        (result,) = server.gather([ticket])
+    np.testing.assert_array_equal(result.unwrap(), dense @ b)
+
+
+def test_gather_consumed_or_unknown_ticket_raises_keyerror(rng):
+    fmt = COO.from_dense(np.eye(4))
+    with InsumServer(num_workers=1) as server:
+        ticket = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        (result,) = server.gather([ticket])
+        assert result.ok
+        with pytest.raises(KeyError, match="not in flight"):
+            server.gather([ticket])  # already consumed: must not block forever
+        with pytest.raises(KeyError, match="not in flight"):
+            server.gather([999])  # never submitted
+
+
+def test_submit_after_close_raises(rng):
+    server = InsumServer(num_workers=1)
+    server.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        server.submit("C[i] += A[i]", A=np.ones(3), C=np.zeros(3))

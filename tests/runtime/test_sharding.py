@@ -1,0 +1,108 @@
+"""Tests for the ShardedExecutor: exactness, fallback, parallel paths."""
+
+import numpy as np
+import pytest
+
+from repro import ShardedExecutor, StackedSparse, sparse_einsum
+from repro.errors import EinsumValidationError
+from repro.formats import COO, ELL, BlockGroupCOO, GroupCOO
+
+
+def integer_matrix(rng, m, k, density=0.2):
+    mask = rng.random((m, k)) < density
+    dense = np.where(mask, np.round(rng.standard_normal((m, k)) * 8.0), 0.0)
+    if not dense.any():
+        dense[0, 0] = 1.0
+    return dense
+
+
+@pytest.mark.parametrize("num_shards", [2, 3, 4, 8])
+def test_groupcoo_sharded_matches_sequential_bit_for_bit(rng, num_shards):
+    dense = integer_matrix(rng, 64, 48)
+    fmt = GroupCOO.from_dense(dense, group_size=4)
+    b = np.round(rng.standard_normal((48, 9)) * 8.0)
+    reference = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b)
+    executor = ShardedExecutor(num_shards=num_shards)
+    sharded = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b)
+    assert executor.last_mode == "sharded"
+    assert 2 <= executor.last_num_shards <= num_shards
+    np.testing.assert_array_equal(sharded, reference)
+
+
+def test_coo_sharded_matches_sequential(rng):
+    dense = integer_matrix(rng, 40, 30)
+    fmt = COO.from_dense(dense)
+    b = np.round(rng.standard_normal((30, 5)) * 8.0)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b)
+    np.testing.assert_array_equal(out, dense @ b)
+
+
+def test_blockgroupcoo_sharded(rng):
+    dense = np.zeros((64, 64))
+    for block_row in range(8):
+        dense[block_row * 8 : block_row * 8 + 8, :8] = np.round(
+            rng.standard_normal((8, 8)) * 4.0
+        )
+    fmt = BlockGroupCOO.from_dense(dense, (8, 8), group_size=2)
+    b = np.round(rng.standard_normal((64, 6)) * 4.0)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b)
+    assert executor.last_mode == "sharded"
+    np.testing.assert_array_equal(out, dense @ b)
+
+
+def test_stacked_sparse_shards_by_base_rows(rng):
+    mask = rng.random((32, 24)) < 0.25
+    dense = np.where(mask[None], np.round(rng.standard_normal((4, 32, 24)) * 8.0), 0.0)
+    stacked = StackedSparse.from_dense(dense, GroupCOO, group_size=2)
+    b = np.round(rng.standard_normal((24, 5)) * 8.0)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[s,m,n] += A[s,m,k] * B[k,n]", A=stacked, B=b)
+    assert executor.last_mode == "sharded"
+    np.testing.assert_array_equal(out, dense @ b)
+
+
+def test_unsupported_format_falls_back_to_sequential(rng):
+    dense = integer_matrix(rng, 16, 12)
+    fmt = ELL.from_dense(dense)  # no scatter_row_ids hook
+    b = np.round(rng.standard_normal((12, 3)) * 8.0)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b)
+    assert executor.last_mode == "sequential"
+    np.testing.assert_array_equal(out, dense @ b)
+
+
+def test_tiny_matrix_falls_back_when_one_shard(rng):
+    dense = np.zeros((4, 4))
+    dense[0, 0] = 3.0  # single unit -> single shard -> sequential
+    fmt = COO.from_dense(dense)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+    assert executor.last_mode == "sequential"
+    np.testing.assert_array_equal(out, dense)
+
+
+def test_initial_output_added_exactly_once(rng):
+    dense = integer_matrix(rng, 32, 16)
+    fmt = GroupCOO.from_dense(dense, group_size=2)
+    b = np.round(rng.standard_normal((16, 4)) * 8.0)
+    initial = np.round(rng.standard_normal((32, 4)) * 8.0)
+    executor = ShardedExecutor(num_shards=4)
+    out = executor.run("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=b, C=initial.copy())
+    np.testing.assert_array_equal(out, initial + dense @ b)
+
+
+def test_requires_exactly_one_sparse_operand(rng):
+    executor = ShardedExecutor(num_shards=2)
+    with pytest.raises(EinsumValidationError, match="exactly one"):
+        executor.run("C[m,n] += A[m,k] * B[k,n]", A=np.eye(4), B=np.eye(4))
+
+
+def test_spmv_sharded(rng):
+    dense = integer_matrix(rng, 48, 32)
+    fmt = COO.from_dense(dense)
+    x = np.round(rng.standard_normal(32) * 8.0)
+    executor = ShardedExecutor(num_shards=3)
+    out = executor.run("y[m] += A[m,k] * x[k]", A=fmt, x=x)
+    np.testing.assert_array_equal(out, dense @ x)
