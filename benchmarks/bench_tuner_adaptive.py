@@ -1,0 +1,144 @@
+"""Adaptive format selection across four sparsity regimes.
+
+The tuner's acceptance benchmark: for each regime, measure every
+hand-picked candidate format's warm SpMM runtime, then let
+``format="auto"`` choose — the auto choice must land within 10% of the
+best hand-picked candidate.
+
+Regimes (all 512-row matrices, dense operand width 64):
+
+* **uniform** — uniformly random nonzeros (``datasets.random_sparse_matrix``);
+* **powerlaw** — Pareto-distributed row lengths (degree-skewed graphs);
+* **blockdiag** — nonzeros forming dense 16x16 blocks
+  (``datasets.random_block_sparse_matrix``);
+* **pointcloud** — the voxel adjacency of a synthetic indoor scene's
+  sparse-convolution kernel map (``datasets.pointclouds``).
+
+Runtimes are the best of ``REPEATS`` warm executions of the *same*
+compiled operator, so the auto-vs-best ratio compares identical code paths
+and is robust to timer noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.insum.api import SparseEinsum
+from repro.datasets import (
+    build_kernel_map,
+    generate_scene,
+    random_block_sparse_matrix,
+    random_sparse_matrix,
+    voxelize,
+)
+from repro.tuner import CostModel, enumerate_candidates, profile_operand
+from repro.tuner.auto import choose_format
+from repro.utils.timing import Timer
+
+N_COLS = 64
+REPEATS = 5
+TOLERANCE = 1.10  # auto must be within 10% of the best hand-picked format
+
+
+def _powerlaw_matrix(rows: int, cols: int, rng_seed: int = 0) -> np.ndarray:
+    """Degree-skewed rows: Pareto-distributed occupancy (graph-like)."""
+    rng = np.random.default_rng(rng_seed)
+    occupancy = np.minimum(cols, (rng.pareto(1.2, rows) * 4 + 1).astype(int))
+    dense = np.zeros((rows, cols))
+    for row, occ in enumerate(occupancy):
+        cols_of_row = rng.choice(cols, size=occ, replace=False)
+        values = rng.standard_normal(occ)
+        values[values == 0] = 1.0
+        dense[row, cols_of_row] = values
+    return dense
+
+
+def _pointcloud_matrix(max_rows: int = 512) -> np.ndarray:
+    """Voxel-adjacency matrix of one kernel offset of a synthetic scene."""
+    points = generate_scene("pantry", max_points=6000, rng=0)
+    voxels = voxelize(points)
+    kernel_map = build_kernel_map(voxels)
+    # Accumulate all offsets' (output, input) pairs into one adjacency.
+    rows_list, cols_list = [], []
+    for pairs in kernel_map.pairs:
+        if len(pairs):
+            rows_list.append(pairs[:, 0])
+            cols_list.append(pairs[:, 1])
+    rows = np.concatenate(rows_list) % max_rows
+    cols = np.concatenate(cols_list) % max_rows
+    dense = np.zeros((max_rows, max_rows))
+    dense[rows, cols] = 1.0
+    return dense
+
+
+@pytest.fixture(scope="module")
+def regimes():
+    return {
+        "uniform": random_sparse_matrix((512, 512), 0.03, rng=0).astype(np.float64),
+        "powerlaw": _powerlaw_matrix(512, 512, rng_seed=1),
+        "blockdiag": random_block_sparse_matrix(512, (16, 16), 0.06, rng=2).astype(np.float64),
+        "pointcloud": _pointcloud_matrix(512),
+    }
+
+
+def _measure_all(candidates, dense, dense_rhs) -> dict[str, float]:
+    """Interleaved best-of-``REPEATS`` warm runtimes, keyed by label.
+
+    All candidates compile and warm up first, then timed rounds alternate
+    over them, keeping each one's minimum — so CPU frequency ramp-up and
+    other monotone drift hit every candidate equally.
+    """
+    operators = []
+    for candidate in candidates:
+        operand = candidate.build(dense)
+        operator = SparseEinsum("C[m,n] += A[m,k] * B[k,n]")
+        operator(A=operand, B=dense_rhs)  # compile + warm up
+        operators.append((candidate.describe(), operator, operand))
+    best = {label: float("inf") for label, _, _ in operators}
+    for _ in range(REPEATS):
+        for label, operator, operand in operators:
+            with Timer() as timer:
+                operator(A=operand, B=dense_rhs)
+            best[label] = min(best[label], timer.elapsed_ms)
+    return best
+
+
+def test_auto_within_10pct_of_best_handpicked(regimes, report):
+    rng = np.random.default_rng(42)
+    model = CostModel()
+    lines = [
+        f"{'regime':<12s} {'candidate':<26s} {'model ms':>9s} {'measured ms':>12s}",
+        "-" * 62,
+    ]
+    summary = []
+    for name, dense in regimes.items():
+        dense_rhs = rng.standard_normal((dense.shape[1], N_COLS))
+        profile = profile_operand(dense)
+        candidates = enumerate_candidates(profile)
+        measured = _measure_all(candidates, dense, dense_rhs)
+        for candidate in candidates:
+            lines.append(
+                f"{name:<12s} {candidate.describe():<26s} "
+                f"{model.estimate_ms(profile, candidate, N_COLS):9.4f} "
+                f"{measured[candidate.describe()]:12.4f}"
+            )
+        decision = choose_format(profile, n_cols=N_COLS, dense=dense, use_cache=False)
+        chosen = decision.candidate.describe()
+        best_label, best_ms = min(measured.items(), key=lambda kv: kv[1])
+        ratio = measured[chosen] / best_ms
+        summary.append((name, chosen, best_label, ratio))
+        lines.append(
+            f"{name:<12s} -> auto picked {chosen} "
+            f"(best: {best_label}, auto/best = {ratio:.3f})"
+        )
+        lines.append("")
+        assert ratio <= TOLERANCE, (
+            f"{name}: auto choice {chosen} is {ratio:.2f}x the best "
+            f"hand-picked candidate {best_label}"
+        )
+
+    lines.append(f"{'regime':<12s} {'auto choice':<26s} {'best':<26s} {'auto/best':>9s}")
+    for name, chosen, best_label, ratio in summary:
+        lines.append(f"{name:<12s} {chosen:<26s} {best_label:<26s} {ratio:9.3f}")
+    report("tuner_adaptive", "\n".join(lines))

@@ -22,6 +22,12 @@ def main() -> None:
     )
     print("sparse_einsum matches numpy:", np.allclose(result, sparse_matrix @ dense_matrix))
 
+    # --- or let the tuner pick the format (repro.tuner, docs/FORMATS.md) -----------
+    result_auto = insum(
+        "C[m,n] += A[m,k] * B[k,n]", A=sparse_matrix, B=dense_matrix, format="auto"
+    )
+    print("format='auto' matches numpy:", np.allclose(result_auto, sparse_matrix @ dense_matrix))
+
     # --- the explicit indirect Einsum, as written in the paper --------------------
     coo = COO.from_dense(sparse_matrix)
     result_coo = insum(

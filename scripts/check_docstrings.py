@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Docstring lint for the public API (the CI docs job's first gate).
+
+Walks the symbols exported from the public packages' ``__all__`` lists and
+enforces NumPy-style completeness:
+
+* every exported class/function has a docstring of at least one real
+  sentence (no empty or single-word stubs);
+* every public method (not ``_``-prefixed, not inherited from ``object``)
+  of an exported class has a docstring;
+* functions/methods taking more than two non-``self`` parameters must
+  document them — a ``Parameters`` section (NumPy style) or an itemised
+  description is required.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_docstrings.py
+
+Exit status 0 when clean; 1 with a per-symbol report otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+
+#: Packages whose ``__all__`` constitutes the public API.
+PUBLIC_MODULES = [
+    "repro",
+    "repro.runtime",
+    "repro.formats",
+    "repro.tuner",
+]
+
+#: Minimum docstring length (characters) for an exported symbol.
+MIN_LENGTH = 40
+
+#: Parameter count (excluding self/cls/*args/**kwargs) above which a
+#: Parameters section is mandatory.
+PARAMS_THRESHOLD = 2
+
+
+def _relevant_params(obj) -> list[str]:
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return []
+    return [
+        name
+        for name, param in signature.parameters.items()
+        if name not in ("self", "cls")
+        and param.kind
+        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+    ]
+
+
+def _check_callable(qualname: str, obj, problems: list[str], is_method: bool = False) -> None:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        problems.append(f"{qualname}: missing docstring")
+        return
+    if not is_method and len(doc) < MIN_LENGTH:
+        problems.append(f"{qualname}: docstring too short ({len(doc)} chars)")
+        return
+    params = _relevant_params(obj)
+    if len(params) > PARAMS_THRESHOLD and "Parameters" not in doc:
+        documented = sum(1 for p in params if f"{p}:" in doc or f"{p} :" in doc)
+        if documented < len(params) // 2:
+            problems.append(
+                f"{qualname}: {len(params)} parameters but no Parameters section "
+                f"(params: {', '.join(params)})"
+            )
+
+
+def _check_class(qualname: str, cls, problems: list[str]) -> None:
+    doc = inspect.getdoc(cls)
+    if not doc or len(doc) < MIN_LENGTH:
+        problems.append(f"{qualname}: class docstring missing or too short")
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if name not in cls.__dict__ and not any(
+            name in base.__dict__ for base in cls.__mro__[1:-1]
+        ):
+            continue  # inherited from object/builtins
+        if inspect.isfunction(member) or inspect.ismethod(member):
+            _check_callable(f"{qualname}.{name}", member, problems, is_method=True)
+        elif isinstance(inspect.getattr_static(cls, name), property):
+            if not inspect.getdoc(member):
+                problems.append(f"{qualname}.{name}: property missing docstring")
+
+
+def main() -> int:
+    problems: list[str] = []
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            problems.append(f"{module_name}: no __all__ — public surface undefined")
+            continue
+        if not inspect.getdoc(module):
+            problems.append(f"{module_name}: module docstring missing")
+        for symbol in exported:
+            if symbol.startswith("__"):
+                continue
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                problems.append(f"{module_name}.{symbol}: in __all__ but not importable")
+                continue
+            qualname = f"{module_name}.{symbol}"
+            if inspect.isclass(obj):
+                _check_class(qualname, obj, problems)
+            elif callable(obj):
+                _check_callable(qualname, obj, problems)
+
+    if problems:
+        print(f"docstring check FAILED ({len(problems)} problems):")
+        for problem in sorted(set(problems)):
+            print(f"  - {problem}")
+        return 1
+    print(f"docstring check OK ({len(PUBLIC_MODULES)} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

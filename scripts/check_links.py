@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Offline link check for the documentation (the CI docs job's second gate).
+
+Verifies, for every markdown file passed on the command line (defaulting
+to ``docs/*.md`` plus ``README.md``):
+
+* every relative link ``[text](path)`` resolves to an existing file or
+  directory (relative to the file containing the link);
+* fragment links ``[text](page.md#anchor)`` point at a heading that
+  actually exists in the target page (GitHub-style slugs);
+* intra-page fragments ``[text](#anchor)`` match a local heading.
+
+External links (``http://``/``https://``/``mailto:``) are skipped — this
+environment is offline, and the docs deliberately keep their link graph
+internal.
+
+Run from the repository root::
+
+    python scripts/check_links.py docs/*.md README.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — excluding images' leading ``!`` is unnecessary:
+#: image targets must exist too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, dashes, stripped)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(h) for h in HEADING_PATTERN.findall(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+            if fragment and resolved.is_file() and resolved.suffix == ".md":
+                if fragment not in headings_of(resolved):
+                    problems.append(f"{path}: missing anchor -> {target}")
+        elif fragment:
+            if fragment not in headings_of(path):
+                problems.append(f"{path}: missing local anchor -> #{fragment}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = sorted(Path("docs").glob("*.md")) + [Path("README.md")]
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print(f"link check FAILED: files not found: {', '.join(missing)}")
+        return 1
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"link check FAILED ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"link check OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,13 @@ Public API highlights
 * :mod:`repro.core` — the compiler itself: the indirect-Einsum frontend,
   the FX-like graph IR, the extended Inductor-like backend, and the
   simulated Triton/GPU layer.
+* :mod:`repro.tuner` — cost-model-driven adaptive format selection:
+  :func:`repro.auto_format` and the ``insum(..., format="auto")`` path,
+  scored by microbenchmark-calibrated analytical costs.
+
+See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
+``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
+paper-figure harnesses.
 """
 
 from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
@@ -31,8 +38,14 @@ from repro.runtime import (
     configure_plan_cache,
     get_plan_cache,
 )
+from repro.tuner import (
+    CostModel,
+    SparsityProfile,
+    auto_format,
+    profile_operand,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Insum",
@@ -49,5 +62,9 @@ __all__ = [
     "clear_plan_cache",
     "configure_plan_cache",
     "get_plan_cache",
+    "CostModel",
+    "SparsityProfile",
+    "auto_format",
+    "profile_operand",
     "__version__",
 ]

@@ -52,6 +52,14 @@ class Insum:
     check_bounds:
         Validate that index-tensor values are in range (adds a scan of the
         metadata; disable for large pre-validated inputs).
+    schedule_hint:
+        Optional :class:`repro.tuner.schedule.ScheduleHint` stored on the
+        plan; the backend autotuner evaluates the hinted tiles alongside
+        its own candidates.  Set by the ``format="auto"`` path.
+    profile_bucket:
+        Optional sparsity-regime key folded into the plan-cache key (see
+        :func:`repro.runtime.plan_cache.plan_key`).  Set by the
+        ``format="auto"`` path so different regimes compile separately.
     """
 
     def __init__(
@@ -60,6 +68,8 @@ class Insum:
         backend: str = "inductor",
         config: Any | None = None,
         check_bounds: bool = True,
+        schedule_hint: Any | None = None,
+        profile_bucket: Any | None = None,
     ):
         if backend not in ("inductor", "eager"):
             raise LoweringError(f"unknown backend {backend!r}; use 'inductor' or 'eager'")
@@ -68,6 +78,8 @@ class Insum:
         self.backend = backend
         self.config = config
         self.check_bounds = check_bounds
+        self.schedule_hint = schedule_hint
+        self.profile_bucket = profile_bucket
         self.last_plan: InsumPlan | None = None
         self.compile_seconds: float = 0.0
 
@@ -105,11 +117,17 @@ class Insum:
             self.config,
             self.check_bounds,
             self._signature(tensors),
+            profile_bucket=self.profile_bucket,
         )
         with Timer() as timer:
             entry = cache.get(key)
             if entry is None:
-                plan = plan_insum(self.statement, tensors, check_bounds=self.check_bounds)
+                plan = plan_insum(
+                    self.statement,
+                    tensors,
+                    check_bounds=self.check_bounds,
+                    schedule_hint=self.schedule_hint,
+                )
                 if self.backend == "eager":
                     compiled = _EagerKernel(plan)
                 else:
@@ -145,15 +163,138 @@ def insum(
     backend: str = "inductor",
     config: Any | None = None,
     check_bounds: bool = True,
-    **tensors: np.ndarray,
+    format: Any | None = None,
+    tune: str = "auto",
+    sparse_operand: str | None = None,
+    **tensors: Any,
 ) -> np.ndarray:
-    """One-shot form of :class:`Insum`: parse, compile, and execute."""
+    """One-shot sparse Einsum: parse, compile, and execute.
+
+    Without ``format``, this is the raw indirect-Einsum entry point: the
+    expression is written over the data/metadata arrays of a sparse format
+    and every operand is a plain array.
+
+    With ``format`` set, the expression is a *format-agnostic* Einsum over
+    logical tensors and the call routes through :class:`SparseEinsum`:
+    ``format="auto"`` lets :mod:`repro.tuner` profile the sparse operand
+    (a dense array or any :class:`~repro.formats.base.SparseFormat`) and
+    pick the storage format with its calibrated cost model, while a format
+    name or class forces that format.
+
+    Parameters
+    ----------
+    expression:
+        The Einsum string (indirect, or logical when ``format`` is set).
+    backend:
+        ``"inductor"`` (default) or ``"eager"``.
+    config:
+        Optional :class:`~repro.core.inductor.config.InductorConfig`.
+    check_bounds:
+        Validate that index-tensor values are in range.
+    format:
+        ``None``, ``"auto"``, a format name (``"coo"``, ``"ell"``, ...),
+        or a :class:`~repro.formats.base.SparseFormat` subclass.
+    tune:
+        With ``format="auto"``: ``"auto"`` picks by the calibrated cost
+        model; ``"measure"`` empirically times the top candidates through
+        the compile-and-execute pipeline and picks the fastest.
+    sparse_operand:
+        Name of the operand ``format`` applies to, when ambiguous.
+    **tensors:
+        Operand arrays (and, with ``format``, sparse-format instances).
+
+    Returns
+    -------
+    numpy.ndarray
+        The computed output tensor.
+
+    Examples
+    --------
+    >>> C = insum("C[m,n] += A[m,k] * B[k,n]", A=A_dense, B=B, format="auto")
+    """
+    if format is not None:
+        return SparseEinsum(
+            expression,
+            backend=backend,
+            config=config,
+            check_bounds=check_bounds,
+            format=format,
+            tune=tune,
+            sparse_operand=sparse_operand,
+        )(**tensors)
     return Insum(expression, backend=backend, config=config, check_bounds=check_bounds)(**tensors)
 
 
 # ---------------------------------------------------------------------------
 # Format-agnostic API
 # ---------------------------------------------------------------------------
+def _forced_format_operand(format_spec: Any, operand: Any) -> SparseFormat:
+    """Convert ``operand`` to an explicitly requested format.
+
+    ``format_spec`` is a name (``"coo"``, ``"ell"``, ``"groupcoo"``,
+    ``"blockcoo"``, ``"blockgroupcoo"``) or the corresponding
+    :class:`~repro.formats.base.SparseFormat` subclass.  For the block
+    formats the block shape is taken from the operand's profile (the
+    best-aligned scored shape, falling back to the largest candidate
+    shape that divides the matrix).  The variable-length CSR/BCSR are
+    rejected here — they cannot execute as indirect Einsums (Section 4).
+    """
+    from repro.formats import BlockCOO, BlockGroupCOO, COO, ELL, GroupCOO
+
+    by_name = {
+        "coo": COO,
+        "ell": ELL,
+        "groupcoo": GroupCOO,
+        "blockcoo": BlockCOO,
+        "blockgroupcoo": BlockGroupCOO,
+    }
+    if isinstance(format_spec, str):
+        format_cls = by_name.get(format_spec.lower())
+        if format_cls is None:
+            raise EinsumValidationError(
+                f"unknown format {format_spec!r}; use 'auto' or one of {sorted(by_name)} "
+                "(CSR/BCSR are variable-length and cannot execute as indirect Einsums)"
+            )
+    elif isinstance(format_spec, type) and issubclass(format_spec, SparseFormat):
+        if format_spec.fixed_length is False:
+            raise EinsumValidationError(
+                f"{format_spec.__name__} is a variable-length format and cannot execute "
+                "as an indirect Einsum; convert to a fixed-length format instead"
+            )
+        format_cls = format_spec
+    else:
+        raise EinsumValidationError(
+            f"format= must be 'auto', a format name, or a SparseFormat subclass; "
+            f"got {format_spec!r}"
+        )
+
+    if isinstance(operand, format_cls):
+        return operand
+    dense_value = (
+        operand.to_dense() if isinstance(operand, SparseFormat) else np.asarray(operand)
+    )
+    if format_cls in (BlockCOO, BlockGroupCOO):
+        from repro.tuner.profile import CANDIDATE_BLOCK_SHAPES, profile_operand
+
+        profile = profile_operand(dense_value)
+        block_shape = profile.best_block_shape()
+        if block_shape is None:
+            divisible = [
+                shape
+                for shape in CANDIDATE_BLOCK_SHAPES
+                if dense_value.shape[0] % shape[0] == 0
+                and dense_value.shape[1] % shape[1] == 0
+            ]
+            if not divisible:
+                raise EinsumValidationError(
+                    f"no candidate block shape divides a {dense_value.shape} matrix; "
+                    "construct the block format explicitly with the shape you want"
+                )
+            block_shape = divisible[-1]
+        return format_cls.from_dense(dense_value, block_shape)
+    return format_cls.from_dense(dense_value)
+
+
 def _infer_logical_extents(
     statement: EinsumStatement, operands: dict[str, Any]
 ) -> dict[str, int]:
@@ -187,6 +328,36 @@ class SparseEinsum:
     :class:`Insum` operator, so applications can execute the same Einsum
     many times and still inspect the compiled kernel, its modelled GPU
     cost, and the generated Triton-style source.
+
+    Parameters
+    ----------
+    expression:
+        A format-agnostic Einsum over logical tensors, e.g.
+        ``"C[m,n] += A[m,k] * B[k,n]"``.
+    backend:
+        ``"inductor"`` (default) or ``"eager"``.
+    config:
+        Optional :class:`~repro.core.inductor.config.InductorConfig`.
+    check_bounds:
+        Validate index-tensor values at compile time.
+    format:
+        ``None`` (default) executes the sparse operand in whatever format
+        it arrives in.  ``"auto"`` lets :mod:`repro.tuner` profile the
+        operand and pick the format (the operand may then also be a plain
+        dense array).  A format name (``"coo"``, ``"ell"``, ``"groupcoo"``,
+        ``"blockcoo"``, ``"blockgroupcoo"``) or a
+        :class:`~repro.formats.base.SparseFormat` subclass forces that
+        format.
+    tune:
+        Selection mode for ``format="auto"``: ``"auto"`` scores candidates
+        with the calibrated cost model; ``"measure"`` additionally times
+        the model's top candidates through the real compile-and-execute
+        pipeline (including the backend tile autotuner) and picks the
+        fastest measured one.
+    sparse_operand:
+        Name of the operand to (re)format.  Only needed when the choice is
+        ambiguous — by default the single ``SparseFormat`` operand, or the
+        single sufficiently-sparse 2-D dense operand, is used.
     """
 
     def __init__(
@@ -195,19 +366,124 @@ class SparseEinsum:
         backend: str = "inductor",
         config: Any | None = None,
         check_bounds: bool = True,
+        format: Any | None = None,
+        tune: str = "auto",
+        sparse_operand: str | None = None,
     ):
         self.expression = expression
         self.statement: EinsumStatement = parse_einsum(expression)
         self.backend = backend
         self.config = config
         self.check_bounds = check_bounds
+        self.format = format
+        self.tune = tune
+        self.sparse_operand = sparse_operand
         self.operator: Insum | None = None
         self.rewritten_expression: str | None = None
         self._last_compiled: Any | None = None
+        #: The most recent :class:`repro.tuner.auto.TunerDecision` made by
+        #: the ``format="auto"`` path (``None`` otherwise).
+        self.last_decision: Any | None = None
+        self._auto_bucket: Any | None = None
+        self._auto_hint: Any | None = None
+        self._auto_config: Any | None = None
+
+    # -- format selection ----------------------------------------------------
+    def _pick_reformat_target(self, operands: dict[str, Any]) -> str:
+        """Name of the operand the ``format=`` request applies to."""
+        factor_names = [f.tensor for f in self.statement.rhs.factors]
+        if self.sparse_operand is not None:
+            if self.sparse_operand not in operands:
+                raise EinsumValidationError(
+                    f"sparse_operand {self.sparse_operand!r} is not bound to a value"
+                )
+            return self.sparse_operand
+        sparse_names = [
+            name
+            for name in factor_names
+            if isinstance(operands.get(name), SparseFormat)
+        ]
+        if len(sparse_names) == 1:
+            return sparse_names[0]
+        if len(sparse_names) > 1:
+            raise EinsumValidationError(
+                f"multiple sparse operands {sparse_names}; pass sparse_operand= to pick "
+                "the one to (re)format"
+            )
+        dense_candidates = []
+        for name in dict.fromkeys(factor_names):
+            value = operands.get(name)
+            if isinstance(value, SparseFormat):
+                continue
+            arr = np.asarray(value) if value is not None else None
+            if arr is not None and arr.ndim == 2:
+                density = np.count_nonzero(arr) / max(1, arr.size)
+                if density < 0.5:
+                    dense_candidates.append(name)
+        if dense_candidates:
+            # Several qualify (e.g. the dense side happens to be sparse
+            # too): follow the paper's convention that the sparse operand
+            # is written first, and take the earliest RHS factor.
+            return dense_candidates[0]
+        raise EinsumValidationError(
+            "format= needs an identifiable sparse operand (a SparseFormat instance or a "
+            "2-D dense array of density < 0.5) — pass sparse_operand= to disambiguate"
+        )
+
+    def _infer_n_cols(self, operands: dict[str, Any], target: str) -> int:
+        """Dense-operand width the tuner optimises for (64 when unknown)."""
+        for factor in self.statement.rhs.factors:
+            if factor.tensor == target or factor.tensor not in operands:
+                continue
+            value = operands[factor.tensor]
+            if isinstance(value, SparseFormat):
+                continue
+            arr = np.asarray(value)
+            if arr.ndim >= 2:
+                return int(arr.shape[-1])
+        return 64
+
+    def _apply_format(self, operands: dict[str, Any]) -> dict[str, Any]:
+        """Convert the target operand per the ``format=`` request."""
+        self._auto_bucket = None
+        self._auto_hint = None
+        self._auto_config = None
+        target = self._pick_reformat_target(operands)
+        operand = operands[target]
+        if isinstance(operand, SparseFormat) and operand.format_name == "StackedSparse":
+            # Re-stacking a batch is the job of StackedSparse.from_dense
+            # (which itself accepts format="auto"); pass it through.
+            return operands
+
+        if self.format == "auto":
+            from repro.tuner.auto import auto_format_with_decision
+            from repro.tuner.schedule import suggest_config, suggest_schedule
+
+            n_cols = self._infer_n_cols(operands, target)
+            converted, decision = auto_format_with_decision(
+                operand, n_cols=n_cols, tune=self.tune
+            )
+            self.last_decision = decision
+            self._auto_bucket = decision.bucket
+            if decision.profile is not None:
+                self._auto_hint = suggest_schedule(
+                    decision.profile, decision.candidate, n_cols=n_cols
+                )
+                self._auto_config = suggest_config(
+                    decision.profile, decision.candidate, base=self.config, n_cols=n_cols
+                )
+        else:
+            converted = _forced_format_operand(self.format, operand)
+
+        updated = dict(operands)
+        updated[target] = converted
+        return updated
 
     # -- rewriting -----------------------------------------------------------
     def _prepare(self, operands: dict[str, Any]):
         """Rewrite for the sparse operand and assemble execution tensors."""
+        if self.format is not None:
+            operands = self._apply_format(operands)
         statement = self.statement
         sparse_names = [
             name
@@ -268,9 +544,8 @@ class SparseEinsum:
         return rewrite, execution_tensors, logical_output_shape
 
     # -- execution --------------------------------------------------------------
-    def __call__(self, **operands: Any) -> np.ndarray:
-        """Execute the Einsum; sparse operands may be SparseFormat objects."""
-        rewrite, tensors, logical_shape = self._prepare(operands)
+    def _ensure_operator(self, rewrite) -> Insum:
+        """The reusable operator for the rewritten expression, tuner-aware."""
         if self.operator is None or self.rewritten_expression != rewrite.expression:
             self.rewritten_expression = rewrite.expression
             self.operator = Insum(
@@ -279,9 +554,37 @@ class SparseEinsum:
                 config=self.config,
                 check_bounds=self.check_bounds,
             )
+        if self.format == "auto":
+            # Thread the tuner's schedule choice and regime bucket into the
+            # compilation: the bucket keys the plan cache (per-regime
+            # kernels), the hint feeds the backend autotuner, and the
+            # config carries the suggested execution chunk.
+            self.operator.schedule_hint = self._auto_hint
+            self.operator.profile_bucket = self._auto_bucket
+            if self._auto_config is not None:
+                self.operator.config = self._auto_config
+        return self.operator
+
+    def __call__(self, **operands: Any) -> np.ndarray:
+        """Execute the Einsum; sparse operands may be SparseFormat objects.
+
+        Parameters
+        ----------
+        **operands:
+            Logical tensors by name.  Exactly one right-hand-side operand
+            must be sparse — a :class:`~repro.formats.base.SparseFormat`
+            instance, or (with ``format=`` set) a dense array to convert.
+
+        Returns
+        -------
+        numpy.ndarray
+            The result in the logical output shape.
+        """
+        rewrite, tensors, logical_shape = self._prepare(operands)
+        operator = self._ensure_operator(rewrite)
         # Compile once (through the plan cache) and run the same kernel, so
         # each execution costs exactly one cache lookup.
-        compiled = self.operator.compile(**tensors)
+        compiled = operator.compile(**tensors)
         if self.backend == "inductor":
             self._last_compiled = compiled
         result = compiled.run(tensors)
@@ -294,15 +597,8 @@ class SparseEinsum:
         paper-scale problem sizes without paying for the NumPy execution.
         """
         rewrite, tensors, _ = self._prepare(operands)
-        if self.operator is None or self.rewritten_expression != rewrite.expression:
-            self.rewritten_expression = rewrite.expression
-            self.operator = Insum(
-                rewrite.expression,
-                backend=self.backend,
-                config=self.config,
-                check_bounds=self.check_bounds,
-            )
-        compiled = self.operator.compile(**tensors)
+        operator = self._ensure_operator(rewrite)
+        compiled = operator.compile(**tensors)
         self._last_compiled = compiled
         return compiled
 
@@ -327,20 +623,56 @@ def sparse_einsum(
     expression: str,
     backend: str = "inductor",
     config: Any | None = None,
+    format: Any | None = None,
+    tune: str = "auto",
+    sparse_operand: str | None = None,
     **operands: Any,
 ) -> np.ndarray:
     """Execute a format-agnostic Einsum whose operands may be sparse formats.
 
-    Exactly one right-hand-side operand must be a
-    :class:`~repro.formats.base.SparseFormat` instance (the paper targets
-    sparse-dense kernels); it is rewritten into the format-conscious
-    indirect Einsum for its storage format, dense operands are viewed with
-    blocked shapes when required, and the result is returned in the
-    *logical* output shape.
+    Exactly one right-hand-side operand must be sparse — a
+    :class:`~repro.formats.base.SparseFormat` instance, or (with
+    ``format`` set) a dense array to be converted.  The sparse operand is
+    rewritten into the format-conscious indirect Einsum for its storage
+    format, dense operands are viewed with blocked shapes when required,
+    and the result is returned in the *logical* output shape.
 
-    Example
+    Parameters
+    ----------
+    expression:
+        A classic Einsum over logical tensors, e.g.
+        ``"C[m,n] += A[m,k] * B[k,n]"``.
+    backend:
+        ``"inductor"`` (default) or ``"eager"``.
+    config:
+        Optional :class:`~repro.core.inductor.config.InductorConfig`.
+    format:
+        ``None`` keeps the operand's format; ``"auto"`` lets
+        :mod:`repro.tuner` pick it; a name or class forces one.
+    tune:
+        ``"auto"`` (cost model) or ``"measure"`` (empirical timing) for
+        ``format="auto"``.
+    sparse_operand:
+        Name of the operand ``format`` applies to, when ambiguous.
+    **operands:
+        Logical tensors by name.
+
+    Returns
     -------
+    numpy.ndarray
+        The result in the logical output shape.
+
+    Examples
+    --------
     >>> from repro.formats import GroupCOO
     >>> C = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=GroupCOO.from_dense(A), B=B)
+    >>> C = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=A_dense, B=B, format="auto")
     """
-    return SparseEinsum(expression, backend=backend, config=config)(**operands)
+    return SparseEinsum(
+        expression,
+        backend=backend,
+        config=config,
+        format=format,
+        tune=tune,
+        sparse_operand=sparse_operand,
+    )(**operands)

@@ -76,6 +76,11 @@ class InsumPlan:
     scatter_dim: int | None
     scatter_index_subscripts: list[str] = field(default_factory=list)
     graph_module: GraphModule | None = None
+    #: Optional tuner-provided schedule preference
+    #: (:class:`repro.tuner.schedule.ScheduleHint`): the backend autotuner
+    #: evaluates the hinted tiles as an extra candidate, and the auto
+    #: format path sizes the executor chunk from it.
+    schedule_hint: object | None = None
 
     @property
     def has_scatter(self) -> bool:
@@ -339,12 +344,29 @@ def plan_insum(
     expression: str | EinsumStatement,
     tensors: dict[str, np.ndarray],
     check_bounds: bool = True,
+    schedule_hint: object | None = None,
 ) -> InsumPlan:
     """Validate, analyse, and lower an indirect Einsum to an FX graph.
 
-    Returns an :class:`InsumPlan` whose ``graph_module`` executes the
-    computation on NumPy arrays; the plan also carries the structural
-    information the backend needs for fusion and cost modelling.
+    Parameters
+    ----------
+    expression:
+        The indirect Einsum, as a string or a pre-parsed statement.
+    tensors:
+        The operand arrays (shapes and dtypes drive extent inference).
+    check_bounds:
+        Validate that index-tensor values are in range.
+    schedule_hint:
+        Optional :class:`repro.tuner.schedule.ScheduleHint` from the
+        format tuner; stored on the plan for the backend autotuner, which
+        evaluates the hinted tiles alongside its own candidates.
+
+    Returns
+    -------
+    InsumPlan
+        The plan, whose ``graph_module`` executes the computation on
+        NumPy arrays; it also carries the structural information the
+        backend needs for fusion and cost modelling.
     """
     statement = expression if isinstance(expression, EinsumStatement) else parse_einsum(expression)
     info = validate(statement, tensors, check_bounds=check_bounds)
@@ -368,6 +390,7 @@ def plan_insum(
         scatter_index=scatter_index,
         scatter_dim=scatter_dim,
         scatter_index_subscripts=scatter_subscripts,
+        schedule_hint=schedule_hint,
     )
     plan.graph_module = _build_graph(plan)
     return plan

@@ -24,7 +24,14 @@ from repro.errors import DeviceError
 
 @dataclass(frozen=True)
 class DeviceModel:
-    """Parameters of the simulated GPU."""
+    """Parameters of the simulated GPU and its timing primitives.
+
+    Instances are frozen and cheap; the :data:`RTX3090` preset matches the
+    paper's evaluation hardware.  All ``time_*`` methods return
+    milliseconds and model one resource each (DRAM streaming, indirect
+    sectors, CUDA/Tensor-Core math, L2 atomics, launch overhead); the
+    profiler composes them roofline-style.
+    """
 
     name: str = "Simulated GPU"
     #: Streaming DRAM bandwidth for coalesced accesses, in GB/s.
@@ -72,10 +79,19 @@ class DeviceModel:
 
         Each access transfers at least one DRAM sector, so small gathers
         waste most of their transaction; large gathered rows approach the
-        streaming bandwidth.  When ``footprint_bytes`` is given (the size of
-        the distinct data actually touched), caches cap the DRAM traffic at
-        that footprint — re-gathering the same rows does not re-stream them
-        from DRAM — while the per-request sector cost still applies.
+        streaming bandwidth.
+
+        Parameters
+        ----------
+        count:
+            Number of indirect (gathered/scattered) element accesses.
+        bytes_each:
+            Useful payload bytes per access.
+        footprint_bytes:
+            Size of the distinct data actually touched; when given, caches
+            cap the DRAM traffic at that footprint — re-gathering the same
+            rows does not re-stream them — while the per-request sector
+            cost still applies.
         """
         if count < 0 or bytes_each < 0:
             raise DeviceError("negative indirect access parameters")
@@ -88,7 +104,18 @@ class DeviceModel:
         return effective_bytes / bandwidth * 1e3
 
     def time_compute(self, flops: float, use_tensor_core: bool, dtype: str = "fp16") -> float:
-        """Time to execute ``flops`` floating-point operations."""
+        """Time to execute ``flops`` floating-point operations.
+
+        Parameters
+        ----------
+        flops:
+            Multiply-accumulate operation count (2 per MAC).
+        use_tensor_core:
+            Rate the work at Tensor-Core peak (TF32 halves it for fp32)
+            instead of the CUDA-core FMA rate.
+        dtype:
+            Element type, ``"fp16"`` or ``"fp32"``.
+        """
         if flops < 0:
             raise DeviceError(f"negative flop count: {flops}")
         if use_tensor_core:

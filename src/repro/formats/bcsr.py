@@ -59,6 +59,7 @@ class BCSR(SparseFormat):
     # -- constructors -------------------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray, block_shape: tuple[int, int]) -> "BCSR":
+        """Build BCSR from a dense matrix, keeping only nonzero blocks."""
         rows, cols, blocks = nonzero_blocks(dense, block_shape)
         block_rows = dense.shape[0] // block_shape[0]
         order = np.lexsort((cols, rows))
@@ -92,10 +93,12 @@ class BCSR(SparseFormat):
 
     @property
     def num_blocks(self) -> int:
+        """Number of stored nonzero blocks."""
         return int(self.indices.shape[0])
 
     @property
     def num_block_rows(self) -> int:
+        """Number of block rows (the indptr array has one more entry)."""
         return self._shape[0] // self.block_shape[0]
 
     def block_row_occupancy(self) -> np.ndarray:

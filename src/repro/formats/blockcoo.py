@@ -68,6 +68,7 @@ class BlockCOO(SparseFormat):
     # -- constructors -----------------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray, block_shape: tuple[int, int]) -> "BlockCOO":
+        """Build BlockCOO from a dense matrix, keeping only nonzero blocks."""
         rows, cols, blocks = nonzero_blocks(dense, block_shape)
         return cls(dense.shape, block_shape, rows, cols, blocks)
 
@@ -82,6 +83,7 @@ class BlockCOO(SparseFormat):
 
     @property
     def num_blocks(self) -> int:
+        """Number of stored nonzero blocks."""
         return int(self.block_rows.shape[0])
 
     def to_dense(self) -> np.ndarray:

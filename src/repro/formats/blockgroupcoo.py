@@ -84,8 +84,15 @@ class BlockGroupCOO(SparseFormat):
     ) -> "BlockGroupCOO":
         """Build BlockGroupCOO from a dense matrix.
 
-        When ``group_size`` is omitted the Section 4.2 heuristic picks it
-        from the per-block-row occupancy.
+        Parameters
+        ----------
+        dense:
+            The matrix to convert (shape must divide by ``block_shape``).
+        block_shape:
+            ``(bM, bK)`` block dimensions.
+        group_size:
+            Blocks per group; when omitted the Section 4.2 heuristic picks
+            it from the per-block-row occupancy.
         """
         rows, cols, blocks = nonzero_blocks(dense, block_shape)
         block_rows_count = dense.shape[0] // block_shape[0]
@@ -149,10 +156,12 @@ class BlockGroupCOO(SparseFormat):
 
     @property
     def group_size(self) -> int:
+        """The fixed number of block slots per group (``g`` in the paper)."""
         return int(self.block_cols.shape[1]) if self.block_cols.ndim == 2 else 0
 
     @property
     def num_groups(self) -> int:
+        """Number of stored groups (leading axis of the storage arrays)."""
         return int(self.group_rows.shape[0])
 
     @property
@@ -246,6 +255,7 @@ class BlockGroupCOO(SparseFormat):
 
     @property
     def padding_ratio(self) -> float:
+        """Fraction of stored block slots that are all-zero padding."""
         total_blocks = self.num_stored_blocks
         if not total_blocks:
             return 0.0

@@ -54,6 +54,7 @@ class CSR(SparseFormat):
     # -- constructors ---------------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSR":
+        """Build CSR from a dense matrix, keeping only nonzeros (row-sorted)."""
         dense = np.asarray(dense)
         if dense.ndim != 2:
             raise ShapeError(f"CSR.from_dense expects a matrix, got shape {dense.shape}")

@@ -49,6 +49,7 @@ class ELL(SparseFormat):
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "ELL":
+        """Build ELL from a dense matrix, padding rows to the max occupancy."""
         dense = np.asarray(dense)
         if dense.ndim != 2:
             raise ShapeError(f"ELL.from_dense expects a matrix, got shape {dense.shape}")

@@ -89,12 +89,21 @@ def select_group_size(
     """Pick a group size using the paper's heuristic.
 
     First computes ``g* = sqrt(S/n)``, then evaluates the nearby
-    power-of-two candidates.  When a ``runtime_fn`` is given (a callable
-    that returns a measured/modelled runtime for a candidate ``g``), the
-    best-by-runtime candidate is returned, mirroring the paper's "round
-    to the nearest power-of-two values and select the one with the best
-    runtime".  Without a runtime callback, candidates are ranked by the
-    exact indirect-access count ``F(g)``.
+    power-of-two candidates.
+
+    Parameters
+    ----------
+    occupancy:
+        Nonzeros per row (``occ`` in the paper).
+    runtime_fn:
+        Optional callable returning a measured/modelled runtime for a
+        candidate ``g``; when given, the best-by-runtime candidate wins,
+        mirroring the paper's "round to the nearest power-of-two values
+        and select the one with the best runtime".  Without it,
+        candidates are ranked by the exact indirect-access count ``F(g)``.
+    max_group:
+        Upper bound on the candidate group sizes (defaults to the next
+        power of two above the maximum row occupancy).
     """
     occ = np.asarray(occupancy, dtype=np.int64)
     if max_group is None and occ.size:
@@ -123,16 +132,20 @@ class GroupSizeModel:
 
     @property
     def total_nonzeros(self) -> int:
+        """Total nonzeros ``S = Σᵢ occᵢ``."""
         return int(self.occupancy.sum())
 
     @property
     def g_star(self) -> float:
+        """The closed-form group-size estimate ``√(S/n)``."""
         return optimal_group_size(self.occupancy)
 
     def exact_cost(self, group_size: int) -> int:
+        """The exact indirect-access count ``F(g)`` for this occupancy."""
         return exact_indirect_access_count(self.occupancy, group_size)
 
     def relaxed_cost(self, group_size: float) -> float:
+        """The relaxed (continuous) cost ``F~(g)`` for this occupancy."""
         return relaxed_indirect_access_count(self.occupancy, group_size)
 
     def padded_slots(self, group_size: int) -> int:

@@ -122,6 +122,7 @@ class GroupCOO(SparseFormat):
 
     @classmethod
     def from_coo(cls, coo, group_size: int | None = None) -> "GroupCOO":
+        """Build GroupCOO from a (possibly unsorted) COO tensor, via CSR."""
         return cls.from_csr(CSR.from_coo(coo), group_size=group_size)
 
     # -- SparseFormat interface -----------------------------------------------------
@@ -135,10 +136,12 @@ class GroupCOO(SparseFormat):
 
     @property
     def group_size(self) -> int:
+        """The fixed number of slots per group (``g`` in the paper)."""
         return int(self.columns.shape[1]) if self.columns.ndim == 2 else 0
 
     @property
     def num_groups(self) -> int:
+        """Number of stored groups (rows of the ``columns``/``values`` arrays)."""
         return int(self.group_rows.shape[0])
 
     def to_dense(self) -> np.ndarray:
@@ -205,6 +208,7 @@ class GroupCOO(SparseFormat):
 
     @property
     def padding_ratio(self) -> float:
+        """Fraction of stored value slots that are padding."""
         total = self.values.size
         return 1.0 - (self._nnz / total) if total else 0.0
 

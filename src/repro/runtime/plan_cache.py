@@ -33,7 +33,13 @@ from typing import Any, Hashable
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Immutable snapshot of cache counters."""
+    """Immutable snapshot of the plan cache's counters.
+
+    Counters (hits, misses, evictions) are monotonic over the cache's
+    lifetime; take two snapshots and diff them with :meth:`since` to
+    measure one workload's window, as :class:`~repro.runtime.server.InsumServer`
+    does for its hit-rate report.
+    """
 
     hits: int
     misses: int
@@ -43,6 +49,7 @@ class PlanCacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups observed (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -61,6 +68,7 @@ class PlanCacheStats:
         )
 
     def summary(self) -> str:
+        """One-line human-readable report of the counters."""
         return (
             f"plan cache: {self.size}/{self.maxsize} entries, "
             f"{self.hits} hits / {self.misses} misses "
@@ -136,6 +144,7 @@ class PlanCache:
     # -- management ---------------------------------------------------------
     @property
     def maxsize(self) -> int:
+        """Capacity: the entry count beyond which LRU eviction kicks in."""
         return self._maxsize
 
     def resize(self, maxsize: int) -> None:
@@ -156,6 +165,7 @@ class PlanCache:
                 self._hits = self._misses = self._evictions = 0
 
     def stats(self) -> PlanCacheStats:
+        """An immutable snapshot of the current counters and occupancy."""
         with self._lock:
             return PlanCacheStats(
                 hits=self._hits,
@@ -178,15 +188,47 @@ def plan_key(
     config: Any,
     check_bounds: bool,
     signature: Hashable,
+    profile_bucket: Hashable = None,
 ) -> tuple:
     """Build the canonical cache key for one compilation.
 
-    ``config`` is folded in through its ``repr`` — ``InductorConfig`` is a
-    plain dataclass (of bools, strings, a tile dict, and a frozen device
-    model), so equal configurations produce equal reprs without requiring
-    hashability.
+    Parameters
+    ----------
+    expression:
+        The indirect-Einsum expression string.
+    backend:
+        ``"inductor"`` or ``"eager"``.
+    config:
+        Backend configuration, folded in through its ``repr`` —
+        ``InductorConfig`` is a plain dataclass (of bools, strings, a tile
+        dict, and a frozen device model), so equal configurations produce
+        equal reprs without requiring hashability.
+    check_bounds:
+        Whether bounds validation was requested at plan time.
+    signature:
+        Shape-and-dtype signature of every bound tensor.
+    profile_bucket:
+        Coarse sparsity-regime key from
+        :meth:`repro.tuner.profile.SparsityProfile.bucket`, set by the
+        ``format="auto"`` path.  Two requests with identical shapes but
+        different sparsity regimes then compile (and cache) separately, so
+        a server adapts its schedule per regime instead of replaying the
+        first request's kernel forever.  ``None`` (the default) for plans
+        compiled without the tuner.
+
+    Returns
+    -------
+    tuple
+        A hashable key for :class:`PlanCache`.
     """
-    return (expression, backend, repr(config), bool(check_bounds), signature)
+    return (
+        expression,
+        backend,
+        repr(config),
+        bool(check_bounds),
+        signature,
+        profile_bucket,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,13 @@ from repro.utils.timing import LatencyRecorder
 
 @dataclass
 class InsumRequest:
-    """One queued unit of work."""
+    """One queued unit of work: an expression, its operands, and a ticket.
+
+    Created by :meth:`InsumServer.submit`; ``request_id`` is the ticket
+    handed back to the caller and later passed to :meth:`InsumServer.gather`.
+    ``submitted_at`` (a ``perf_counter`` timestamp) feeds the queue-delay
+    and end-to-end latency statistics.
+    """
 
     request_id: int
     expression: str
@@ -65,6 +71,7 @@ class InsumResult:
 
     @property
     def ok(self) -> bool:
+        """True when the request produced an output (no worker-side error)."""
         return self.error is None
 
     def unwrap(self) -> np.ndarray:
@@ -95,6 +102,17 @@ class InsumServer:
         :class:`~repro.runtime.sharding.ShardedExecutor` instead of a
         single sequential kernel.  Off by default — sequential execution
         keeps results bit-identical to direct ``sparse_einsum`` calls.
+    auto_format:
+        When True, format-agnostic requests route through the
+        :mod:`repro.tuner` auto path (``format="auto"``): each request's
+        sparse operand is profiled, the calibrated cost model picks the
+        storage format per sparsity regime (decisions are memoised by
+        profile bucket), and compiled plans are cached per regime — so
+        one server adapts across heterogeneous request streams.  Sparse
+        operands may then also be plain dense arrays.
+    tune:
+        Tuner mode when ``auto_format`` is on: ``"auto"`` (cost model) or
+        ``"measure"`` (empirical timing of the top candidates).
     """
 
     def __init__(
@@ -104,6 +122,8 @@ class InsumServer:
         config: Any | None = None,
         check_bounds: bool = True,
         num_shards: int = 1,
+        auto_format: bool = False,
+        tune: str = "auto",
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -111,6 +131,8 @@ class InsumServer:
         self.config = config
         self.check_bounds = check_bounds
         self.num_shards = int(num_shards)
+        self.auto_format = bool(auto_format)
+        self.tune = tune
 
         self._queue: queue.Queue[InsumRequest | None] = queue.Queue()
         self._results: dict[int, InsumResult] = {}
@@ -119,6 +141,9 @@ class InsumServer:
         self._operators: dict[tuple[str, str], _OperatorSlot] = {}
         self._operators_lock = threading.Lock()
         self._ids = itertools.count()
+        #: expression -> (is_logical, rhs_factor_names); used by the
+        #: auto_format path to recognise dense operands it may sparsify.
+        self._expression_info: dict[str, tuple[bool, tuple[str, ...]]] = {}
         self._latencies = LatencyRecorder()
         self._completed = 0
         self._failed = 0
@@ -168,7 +193,29 @@ class InsumServer:
 
     # -- submission ---------------------------------------------------------
     def submit(self, expression: str, **operands: Any) -> int:
-        """Enqueue one request; returns a ticket for :meth:`gather`."""
+        """Enqueue one request and return immediately with a ticket.
+
+        Parameters
+        ----------
+        expression:
+            The Einsum to execute — a raw indirect Einsum over plain
+            arrays, or a format-agnostic Einsum when a sparse operand is
+            bound (or when the server runs with ``auto_format=True``).
+        **operands:
+            Operand tensors by name: :class:`numpy.ndarray` values and/or
+            :class:`~repro.formats.base.SparseFormat` instances.
+
+        Returns
+        -------
+        int
+            A ticket identifying this request; pass it to :meth:`gather`
+            to wait for (and consume) the result.
+
+        Raises
+        ------
+        RuntimeError
+            If the server has been closed.
+        """
         if self._closed:
             raise RuntimeError("InsumServer is closed")
         request = InsumRequest(
@@ -194,9 +241,28 @@ class InsumServer:
     ) -> list[InsumResult]:
         """Wait for the given tickets (or everything submitted) to complete.
 
-        Results are returned in ticket order.  Gathered tickets are
-        consumed: a second ``gather`` of the same id — or an id that was
-        never issued — raises ``KeyError`` instead of blocking.
+        Parameters
+        ----------
+        request_ids:
+            Tickets from :meth:`submit`, in the order results should be
+            returned; ``None`` waits for the whole queue to drain and
+            returns every outstanding result.
+        timeout:
+            Maximum seconds to wait; ``None`` blocks indefinitely.
+
+        Returns
+        -------
+        list[InsumResult]
+            One result per ticket, in ticket order.  Gathered tickets are
+            consumed: a second ``gather`` of the same id — or an id that
+            was never issued — raises ``KeyError`` instead of blocking.
+
+        Raises
+        ------
+        KeyError
+            For a ticket that is not in flight.
+        TimeoutError
+            When the deadline passes before completion.
         """
         if request_ids is None:
             if timeout is None:
@@ -242,6 +308,12 @@ class InsumServer:
 
     # -- execution ----------------------------------------------------------
     def _operator_for(self, expression: str, has_sparse: bool) -> _OperatorSlot:
+        """The long-lived reusable operator for one expression.
+
+        Format-agnostic requests (a sparse operand present, or the server
+        running with ``auto_format``) get a :class:`SparseEinsum`; raw
+        indirect Einsums get an :class:`Insum`.
+        """
         key = (expression, "sparse" if has_sparse else "indirect")
         with self._operators_lock:
             slot = self._operators.get(key)
@@ -252,6 +324,8 @@ class InsumServer:
                         backend=self.backend,
                         config=self.config,
                         check_bounds=self.check_bounds,
+                        format="auto" if self.auto_format else None,
+                        tune=self.tune,
                     )
                 else:
                     operator = Insum(
@@ -264,19 +338,101 @@ class InsumServer:
                 self._operators[key] = slot
             return slot
 
+    def _expression_info_for(self, expression: str) -> tuple[bool, tuple[str, ...]]:
+        """Whether an expression is purely *logical* (no indirect accesses).
+
+        Only logical expressions may have dense operands promoted to
+        sparse formats: in a raw indirect Einsum, a sparse-looking 2-D
+        array is storage (e.g. an ELL value array), not a logical matrix.
+        """
+        with self._operators_lock:
+            cached = self._expression_info.get(expression)
+        if cached is not None:
+            return cached
+        from repro.core.einsum.ast import TensorAccess
+        from repro.core.einsum.parser import parse_einsum
+
+        try:
+            statement = parse_einsum(expression)
+            logical = not any(
+                isinstance(ix, TensorAccess)
+                for access in statement.all_accesses()
+                for ix in access.indices
+            )
+            rhs = tuple(f.tensor for f in statement.rhs.factors)
+        except Exception:  # noqa: BLE001 — classification must not fail a request
+            logical, rhs = False, ()
+        with self._operators_lock:
+            self._expression_info[expression] = (logical, rhs)
+        return logical, rhs
+
     def _execute(self, request: InsumRequest) -> np.ndarray:
-        has_sparse = any(
+        has_instance = any(
             isinstance(value, SparseFormat) for value in request.operands.values()
         )
+        promoted_name: str | None = None
+        if not has_instance and self.auto_format:
+            logical, rhs_names = self._expression_info_for(request.expression)
+            if logical:
+                for name in rhs_names:
+                    value = request.operands.get(name)
+                    arr = np.asarray(value) if value is not None else None
+                    if (
+                        arr is not None
+                        and arr.ndim == 2
+                        and np.count_nonzero(arr) < 0.5 * arr.size
+                    ):
+                        promoted_name = name
+                        break
+        has_sparse = has_instance or promoted_name is not None
+        operands = request.operands
+        if has_sparse and self.auto_format:
+            # Re-format the sparse (or promoted dense) operand once, here —
+            # decisions are cached per regime bucket — so the sharded path
+            # executes the tuner's chosen format and the per-expression
+            # operator's own auto pass sees a matching format and skips
+            # both the density rescan and a second conversion.  The width
+            # is inferred from the request's dense operand so the decision
+            # optimises for the actual workload, matching what
+            # SparseEinsum._infer_n_cols would derive.
+            logical, rhs_names = self._expression_info_for(request.expression)
+            if logical:
+                from repro.tuner.auto import auto_format as tuner_auto_format
+
+                targets = (
+                    [promoted_name]
+                    if promoted_name is not None
+                    else [
+                        name
+                        for name, value in operands.items()
+                        if isinstance(value, SparseFormat)
+                        and value.format_name != "StackedSparse"
+                    ]
+                )
+                if targets:
+                    n_cols = 64
+                    for name in rhs_names:
+                        value = operands.get(name)
+                        if name in targets or value is None or isinstance(value, SparseFormat):
+                            continue
+                        arr = np.asarray(value)
+                        if arr.ndim >= 2:
+                            n_cols = int(arr.shape[-1])
+                            break
+                    operands = dict(operands)
+                    for name in targets:
+                        operands[name] = tuner_auto_format(
+                            operands[name], n_cols=n_cols, tune=self.tune
+                        )
         if has_sparse and self._sharded_executor is not None:
-            sharded = self._sharded_executor.try_run(request.expression, **request.operands)
+            sharded = self._sharded_executor.try_run(request.expression, **operands)
             if sharded is not None:
                 return sharded
             # Not shardable (format without row hooks, or a single shard):
             # fall through to the cached per-expression operator.
         slot = self._operator_for(request.expression, has_sparse)
         with slot.lock:
-            return slot.operator(**request.operands)
+            return slot.operator(**operands)
 
     def _worker_loop(self) -> None:
         while True:

@@ -138,27 +138,67 @@ class StackedSparse(SparseFormat):
     def from_dense(
         cls,
         dense_stack: np.ndarray,
-        format_factory: Callable[..., SparseFormat],
+        format_factory: Callable[..., SparseFormat] | str = "auto",
         **format_kwargs: Any,
     ) -> "StackedSparse":
         """Build a stack from dense arrays, over the union sparsity pattern.
 
         The union pattern (positions nonzero in *any* item) is converted
-        once through ``format_factory`` (e.g. ``GroupCOO.from_dense``, or a
-        format class), then every item's values are gathered into the
-        pattern's storage slots — items are allowed to hold explicit zeros
-        where other items have nonzeros.
+        once through ``format_factory`` (e.g. ``GroupCOO.from_dense``, a
+        format class, or the string ``"auto"`` to let :mod:`repro.tuner`
+        profile the union pattern and pick the format), then every item's
+        values are gathered into the pattern's storage slots — items are
+        allowed to hold explicit zeros where other items have nonzeros.
 
         The gather uses a positional trick: the pattern matrix is encoded
         with each position's flat index (+1), converted to the target
         format, and the resulting value array then *is* the slot → position
         map (0 marks padding slots).
+
+        Parameters
+        ----------
+        dense_stack:
+            Array of shape ``(stack, rows, cols)`` (or higher-rank items
+            for explicit factories).
+        format_factory:
+            A format class, a callable building a format from a dense
+            array, or ``"auto"`` (the default) for tuner selection.
+        **format_kwargs:
+            Extra keyword arguments for the factory (e.g. ``group_size``);
+            not accepted with ``"auto"``.
+
+        Returns
+        -------
+        StackedSparse
+            The stacked operand over the chosen pattern format.
         """
         stack = np.asarray(dense_stack)
         if stack.ndim < 2:
             raise ShapeError(
                 f"from_dense expects a (stack, ...) array of rank >= 2, got {stack.shape}"
             )
+        if isinstance(format_factory, str):
+            if format_factory != "auto":
+                raise FormatError(
+                    f"unknown format_factory {format_factory!r}; pass a format class, a "
+                    "callable, or 'auto'"
+                )
+            if format_kwargs:
+                raise FormatError(
+                    "format_factory='auto' picks the parameters itself; drop "
+                    f"{sorted(format_kwargs)}"
+                )
+            if stack.ndim != 3:
+                raise ShapeError(
+                    "format_factory='auto' profiles matrix stacks (rank 3); got "
+                    f"shape {stack.shape}"
+                )
+            from repro.tuner.auto import choose_format
+            from repro.tuner.profile import profile_operand
+
+            union = np.any(stack != 0, axis=0).astype(np.float64)
+            decision = choose_format(profile_operand(union), dense=union)
+            format_factory = decision.candidate.build
         factory = (
             format_factory.from_dense  # type: ignore[union-attr]
             if isinstance(format_factory, type)
@@ -183,6 +223,7 @@ class StackedSparse(SparseFormat):
     # -- stack access -------------------------------------------------------
     @property
     def stack_size(self) -> int:
+        """Number of stacked items (the leading axis of ``data``)."""
         return int(self.data.shape[0])
 
     def item(self, position: int) -> SparseFormat:
@@ -190,6 +231,7 @@ class StackedSparse(SparseFormat):
         return self.base.with_values(self.data[position])
 
     def items(self) -> Iterator[SparseFormat]:
+        """Iterate the per-item views, in stack order."""
         for position in range(self.stack_size):
             yield self.item(position)
 

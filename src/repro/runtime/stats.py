@@ -39,6 +39,7 @@ class RuntimeStats:
         return self.cache_hits / lookups if lookups else 0.0
 
     def summary(self) -> str:
+        """Multi-line human-readable report (throughput, latency, cache)."""
         return "\n".join(
             [
                 f"requests   : {self.completed} completed, {self.failed} failed "

@@ -1,0 +1,191 @@
+"""The calibrated analytical cost model scoring candidate formats.
+
+For an SpMM-shaped workload ``C[m,n] += A[m,k] * B[k,n]`` with ``A`` sparse
+and ``n_cols`` dense output columns, each candidate format implies an exact
+operation census:
+
+=================  =====================  ==================  =================
+candidate          gathered elements      scattered elements  multiply-adds
+=================  =====================  ==================  =================
+COO                ``S·n + 2S``           ``S·n``             ``2·S·n`` scalar
+ELL                ``P·n + P``            0 (direct rows)     ``2·P·n`` scalar
+GroupCOO(g)        ``P·n + P + G``        ``G·n``             ``2·P·n`` scalar
+BlockCOO(b)        ``NB·bK·n + 2·NB``     ``NB·bM·n``         ``2·NB·bM·bK·n`` block
+BlockGroupCOO(g)   ``PB·bK·n + PB + GB``  ``GB·bM·n``         ``2·PB·bM·bK·n`` block
+=================  =====================  ==================  =================
+
+where ``S`` = nnz, ``P`` = padded stored slots, ``G`` = number of groups,
+``NB`` = nonzero blocks, ``PB`` = padded stored blocks, ``GB`` = block
+groups.  Scalar multiply-adds run at the strided-``einsum`` rate and block
+multiply-adds at the contiguous-``matmul`` rate — the two rates (and the
+gather/scatter/overhead costs) come from the
+:mod:`~repro.tuner.calibration` microbenchmarks, so the model prices
+operations in *measured seconds on this machine*, not abstract counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.formats.group_size import exact_indirect_access_count
+from repro.tuner.calibration import Calibration, get_calibration
+from repro.tuner.candidates import Candidate, ScoredCandidate
+from repro.tuner.profile import SparsityProfile
+
+
+class TunerError(ReproError):
+    """The tuner could not profile, score, or build a candidate."""
+
+
+class CostModel:
+    """Scores (format, parameters) candidates for a profiled operand.
+
+    Parameters
+    ----------
+    calibration:
+        Per-operation cost constants; defaults to the process-wide
+        calibration (measured on first use, see
+        :func:`repro.tuner.calibration.get_calibration`).
+    """
+
+    def __init__(self, calibration: Calibration | None = None):
+        self.calibration = calibration if calibration is not None else get_calibration()
+
+    # -- per-candidate censuses ---------------------------------------------
+    def _census(
+        self, profile: SparsityProfile, candidate: Candidate, n_cols: int
+    ) -> tuple[float, float, float, float]:
+        """``(gather, scatter, scalar_macs, block_macs)`` element counts."""
+        nnz = profile.nnz
+        occ = profile.occupancy
+        name = candidate.format_name
+
+        if name == "COO":
+            return nnz * n_cols + 2 * nnz, nnz * n_cols, 2 * nnz * n_cols, 0.0
+
+        if name == "ELL":
+            padded = profile.shape[0] * profile.row_max
+            return padded * n_cols + padded, 0.0, 2 * padded * n_cols, 0.0
+
+        if name == "GroupCOO":
+            g = candidate.group_size or 1
+            nonempty = occ[occ > 0]
+            groups = int(np.sum(-(nonempty // -g)))  # vectorised ceil_div
+            padded = groups * g
+            gather = padded * n_cols + padded + groups
+            return gather, groups * n_cols, 2 * padded * n_cols, 0.0
+
+        if name in ("BlockCOO", "BlockGroupCOO"):
+            if candidate.block_shape is None or candidate.block_shape not in profile.blocks:
+                raise TunerError(
+                    f"candidate {candidate.describe()} has no block statistics in the profile"
+                )
+            bm, bk = candidate.block_shape
+            stats = profile.blocks[candidate.block_shape]
+            if name == "BlockCOO":
+                nb = stats.num_blocks
+                gather = nb * bk * n_cols + 2 * nb
+                return gather, nb * bm * n_cols, 0.0, 2 * nb * bm * bk * n_cols
+            g = candidate.group_size or 1
+            # Relaxed Section 4.2 group count over block rows (the profile
+            # keeps only summary block statistics, not the full histogram).
+            groups = stats.num_blocks / g + stats.nonempty_rows * (1 - 1 / g) * 0.5
+            padded_blocks = groups * g
+            gather = padded_blocks * bk * n_cols + padded_blocks + groups
+            return (
+                gather,
+                groups * bm * n_cols,
+                0.0,
+                2 * padded_blocks * bm * bk * n_cols,
+            )
+
+        raise TunerError(f"cost model does not know candidate format {name!r}")
+
+    # -- scoring -------------------------------------------------------------
+    def estimate_ms(
+        self, profile: SparsityProfile, candidate: Candidate, n_cols: int = 64
+    ) -> float:
+        """Modelled execution time of one SpMM with this candidate, in ms.
+
+        Parameters
+        ----------
+        profile:
+            The sparse operand's structural summary.
+        candidate:
+            The format configuration to price.
+        n_cols:
+            Width of the dense operand (``n`` in ``C[m,n]``).
+
+        Returns
+        -------
+        float
+            Estimated milliseconds per execution on this machine.
+        """
+        gather, scatter, scalar_macs, block_macs = self._census(profile, candidate, n_cols)
+        cal = self.calibration
+        nanos = (
+            gather * cal.gather_ns
+            + scatter * cal.scatter_ns
+            + scalar_macs * cal.flop_ns
+            + block_macs * cal.block_flop_ns
+        )
+        return nanos / 1e6 + cal.overhead_us / 1e3
+
+    def rank(
+        self,
+        profile: SparsityProfile,
+        candidates: list[Candidate],
+        n_cols: int = 64,
+    ) -> list[ScoredCandidate]:
+        """Score every candidate and return them cheapest-first.
+
+        Parameters
+        ----------
+        profile:
+            The sparse operand's structural summary.
+        candidates:
+            Format configurations to score (see ``enumerate_candidates``).
+        n_cols:
+            Width of the dense operand the SpMM multiplies against.
+        """
+        scored = [
+            ScoredCandidate(candidate=c, modeled_ms=self.estimate_ms(profile, c, n_cols))
+            for c in candidates
+        ]
+        return sorted(scored, key=lambda s: s.modeled_ms)
+
+    # -- introspection -------------------------------------------------------
+    def explain(
+        self, profile: SparsityProfile, candidate: Candidate, n_cols: int = 64
+    ) -> dict[str, float]:
+        """Break one candidate's cost into its census terms (for reports).
+
+        Parameters
+        ----------
+        profile:
+            The sparse operand's structural summary.
+        candidate:
+            The format configuration to explain.
+        n_cols:
+            Width of the dense operand the SpMM multiplies against.
+
+        Returns
+        -------
+        dict
+            ``gather_elements``, ``scatter_elements``, ``scalar_macs``,
+            ``block_macs``, and the resulting ``modeled_ms``.
+        """
+        gather, scatter, scalar_macs, block_macs = self._census(profile, candidate, n_cols)
+        return {
+            "gather_elements": float(gather),
+            "scatter_elements": float(scatter),
+            "scalar_macs": float(scalar_macs),
+            "block_macs": float(block_macs),
+            "modeled_ms": self.estimate_ms(profile, candidate, n_cols),
+        }
+
+
+def indirect_access_count(profile: SparsityProfile, group_size: int) -> int:
+    """The paper's ``F(g)`` evaluated on a profile's occupancy histogram."""
+    return exact_indirect_access_count(np.asarray(profile.occupancy), group_size)

@@ -1,0 +1,48 @@
+"""Tier-1 enforcement of the documentation gates the CI docs job runs.
+
+Running the checkers inside the test suite keeps the docs honest locally,
+not only on CI: a missing public docstring or a broken relative link in
+``docs/*.md`` / ``README.md`` fails ``pytest`` the same way it would fail
+the workflow.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_PAGES = ["docs/ARCHITECTURE.md", "docs/FORMATS.md", "docs/BENCHMARKS.md"]
+
+
+def _run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_docs_pages_exist():
+    for page in DOC_PAGES:
+        assert (REPO / page).is_file(), f"missing documentation page {page}"
+
+
+def test_public_api_docstrings():
+    result = _run(["scripts/check_docstrings.py"])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_documentation_links():
+    result = _run(["scripts/check_links.py", *DOC_PAGES, "README.md"])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_readme_mentions_auto_format():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert 'format="auto"' in readme
+    for page in DOC_PAGES:
+        assert page in readme, f"README does not link {page}"

@@ -1,0 +1,220 @@
+"""End-to-end tests of auto_format, the decision cache, and format="auto"."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Insum, auto_format, insum, sparse_einsum
+from repro.core.insum.api import SparseEinsum
+from repro.datasets import random_block_sparse_matrix, random_sparse_matrix
+from repro.errors import EinsumValidationError
+from repro.formats import COO, GroupCOO
+from repro.formats.base import SparseFormat
+from repro.tuner import get_decision_cache
+from repro.tuner.auto import choose_format
+from repro.tuner.cost_model import TunerError
+from repro.tuner.profile import profile_operand
+
+
+@pytest.fixture
+def uniform(rng):
+    return random_sparse_matrix((96, 80), 0.08, rng=rng).astype(np.float64)
+
+
+@pytest.fixture
+def blocky():
+    return random_block_sparse_matrix(96, (16, 16), 0.12, rng=1).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# auto_format
+# ---------------------------------------------------------------------------
+def test_auto_format_returns_fixed_length_format(uniform):
+    fmt = auto_format(uniform)
+    assert isinstance(fmt, SparseFormat)
+    assert fmt.fixed_length
+    np.testing.assert_allclose(fmt.to_dense(), uniform)
+
+
+def test_auto_format_picks_block_format_on_block_data(blocky):
+    fmt = auto_format(blocky)
+    assert fmt.format_name in ("BlockCOO", "BlockGroupCOO")
+    np.testing.assert_allclose(fmt.to_dense(), blocky)
+
+
+def test_auto_format_reformats_a_sparse_instance(blocky):
+    coo = COO.from_dense(blocky)
+    fmt = auto_format(coo)
+    assert fmt.format_name != "COO"
+    np.testing.assert_allclose(fmt.to_dense(), blocky)
+
+
+def test_auto_format_keeps_matching_instance(uniform):
+    fmt = auto_format(uniform)
+    again = auto_format(fmt)
+    assert again is fmt  # already in the chosen format: no conversion
+
+
+def test_auto_format_measure_mode(uniform):
+    fmt = auto_format(uniform, tune="measure", use_cache=False)
+    np.testing.assert_allclose(fmt.to_dense(), uniform)
+
+
+def test_auto_format_rejects_unknown_mode(uniform):
+    with pytest.raises(TunerError):
+        auto_format(uniform, tune="fastest")
+
+
+# ---------------------------------------------------------------------------
+# Decision cache
+# ---------------------------------------------------------------------------
+def test_decisions_are_cached_by_bucket(uniform):
+    cache = get_decision_cache()
+    profile = profile_operand(uniform)
+    first = choose_format(profile, dense=uniform)
+    assert len(cache) == 1
+    # Same regime, different values: served from the cache.
+    similar = random_sparse_matrix((96, 80), 0.08, rng=999).astype(np.float64)
+    second = choose_format(profile_operand(similar), dense=similar)
+    assert second is first
+    assert cache.hits >= 1
+
+
+def test_different_regimes_get_different_decisions(uniform, blocky):
+    uniform_choice = choose_format(profile_operand(uniform), dense=uniform)
+    # Pad the blocky matrix profile to the same shape? Different shapes are
+    # different buckets already; assert the candidate differs by regime.
+    block_choice = choose_format(profile_operand(blocky), dense=blocky)
+    assert uniform_choice.candidate != block_choice.candidate
+
+
+def test_measure_requires_dense():
+    profile = profile_operand(random_sparse_matrix((32, 32), 0.1, rng=0))
+    with pytest.raises(TunerError):
+        choose_format(profile, mode="measure", dense=None, use_cache=False)
+
+
+# ---------------------------------------------------------------------------
+# insum / sparse_einsum format="auto"
+# ---------------------------------------------------------------------------
+def test_insum_format_auto_matches_dense_reference(uniform, rng):
+    dense_rhs = rng.standard_normal((80, 24))
+    out = insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format="auto")
+    np.testing.assert_allclose(out, uniform @ dense_rhs)
+
+
+def test_insum_format_auto_measure(uniform, rng):
+    dense_rhs = rng.standard_normal((80, 8))
+    out = insum(
+        "C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format="auto", tune="measure"
+    )
+    np.testing.assert_allclose(out, uniform @ dense_rhs)
+
+
+def test_insum_named_format(uniform, rng):
+    dense_rhs = rng.standard_normal((80, 16))
+    for name in ("coo", "ell", "groupcoo"):
+        out = insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format=name)
+        np.testing.assert_allclose(out, uniform @ dense_rhs, err_msg=name)
+
+
+def test_insum_format_class(uniform, rng):
+    dense_rhs = rng.standard_normal((80, 16))
+    out = insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format=GroupCOO)
+    np.testing.assert_allclose(out, uniform @ dense_rhs)
+
+
+def test_insum_named_block_formats(blocky, rng):
+    """Named block formats derive the block shape from the profile."""
+    dense_rhs = rng.standard_normal((96, 16))
+    for name in ("blockcoo", "blockgroupcoo"):
+        out = insum("C[m,n] += A[m,k] * B[k,n]", A=blocky, B=dense_rhs, format=name)
+        np.testing.assert_allclose(out, blocky @ dense_rhs, err_msg=name)
+
+
+def test_variable_length_formats_rejected(uniform, rng):
+    from repro.formats import CSR
+
+    dense_rhs = rng.standard_normal((80, 4))
+    with pytest.raises(EinsumValidationError):
+        insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format="csr")
+    with pytest.raises(EinsumValidationError):
+        insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format=CSR)
+
+
+def test_insum_without_format_is_untouched(uniform, rng):
+    """The raw indirect-Einsum path must not change behaviour."""
+    coo = COO.from_dense(uniform)
+    dense_rhs = rng.standard_normal((80, 8))
+    out = insum(
+        "C[AM[p],n] += AV[p] * B[AK[p],n]",
+        C=np.zeros((96, 8)),
+        AV=coo.values,
+        AM=coo.coords[0],
+        AK=coo.coords[1],
+        B=dense_rhs,
+    )
+    np.testing.assert_allclose(out, uniform @ dense_rhs)
+
+
+def test_unknown_format_name_raises(uniform, rng):
+    with pytest.raises(EinsumValidationError):
+        insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=rng.standard_normal((80, 4)), format="dense")
+
+
+def test_sparse_operand_disambiguation(rng):
+    sparse_a = random_sparse_matrix((32, 32), 0.1, rng=rng)
+    sparse_b = random_sparse_matrix((32, 32), 0.1, rng=rng)
+    out = sparse_einsum(
+        "C[m,n] += A[m,k] * B[k,n]",
+        A=sparse_a,
+        B=sparse_b,
+        format="auto",
+        sparse_operand="B",
+    )
+    np.testing.assert_allclose(out, sparse_a @ sparse_b, rtol=1e-5, atol=1e-6)
+
+
+def test_auto_operator_records_decision_and_bucket(uniform, rng):
+    op = SparseEinsum("C[m,n] += A[m,k] * B[k,n]", format="auto")
+    out = op(A=uniform, B=rng.standard_normal((80, 16)))
+    assert out.shape == (96, 16)
+    assert op.last_decision is not None
+    assert op.operator is not None
+    assert op.operator.profile_bucket is not None
+    assert op.operator.schedule_hint is not None
+
+
+def test_auto_plans_are_keyed_per_regime(rng):
+    """Same shapes, different regimes: distinct plan-cache entries."""
+    from repro import clear_plan_cache, get_plan_cache
+
+    clear_plan_cache()
+    dense_rhs = rng.standard_normal((96, 16))
+    uniform = random_sparse_matrix((96, 96), 0.05, rng=2).astype(np.float64)
+    blocky = random_block_sparse_matrix(96, (16, 16), 0.1, rng=3).astype(np.float64)
+    insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=dense_rhs, format="auto")
+    misses_after_first = get_plan_cache().stats().misses
+    insum("C[m,n] += A[m,k] * B[k,n]", A=blocky, B=dense_rhs, format="auto")
+    assert get_plan_cache().stats().misses > misses_after_first
+
+
+def test_schedule_hint_reaches_the_plan(blocky, rng):
+    op = SparseEinsum("C[m,n] += A[m,k] * B[k,n]", format="auto")
+    op(A=blocky, B=rng.standard_normal((96, 32)))
+    plan = op.operator.last_plan
+    assert plan is not None
+    assert plan.schedule_hint is not None
+    assert plan.schedule_hint.execution_chunk >= 16
+
+
+def test_insum_schedule_hint_tiles_enter_autotune(blocky, rng):
+    """A block-format auto plan carries tile hints the autotuner can use."""
+    op = SparseEinsum("C[m,n] += A[m,k] * B[k,n]", format="auto")
+    op(A=blocky, B=rng.standard_normal((96, 32)))
+    hint = op.operator.last_plan.schedule_hint
+    assert hint.tile_sizes is not None
+    compiled = op.compiled
+    assert compiled is not None
+    assert compiled.autotune.best_tiles  # the search ran and picked tiles

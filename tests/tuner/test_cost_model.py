@@ -1,0 +1,132 @@
+"""Tests for the calibration machinery and the analytical cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_block_sparse_matrix, random_sparse_matrix
+from repro.tuner import (
+    Calibration,
+    Candidate,
+    CostModel,
+    TunerError,
+    enumerate_candidates,
+    profile_operand,
+    run_microbenchmarks,
+)
+from repro.tuner.calibration import CALIBRATION_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Calibration
+# ---------------------------------------------------------------------------
+def test_microbenchmarks_produce_positive_constants():
+    cal = run_microbenchmarks(elements=1 << 14, repeats=1)
+    assert cal.gather_ns > 0
+    assert cal.scatter_ns > 0
+    assert cal.flop_ns > 0
+    assert cal.block_flop_ns > 0
+    assert cal.overhead_us > 0
+    # Contiguous matmul MACs are cheaper than strided scalar MACs.
+    assert cal.block_flop_ns < cal.flop_ns
+
+
+def test_calibration_json_roundtrip(tmp_path):
+    cal = Calibration(gather_ns=1.5, scatter_ns=9.0, flop_ns=0.5, block_flop_ns=0.05, overhead_us=2.0)
+    path = tmp_path / "nested" / "calibration.json"
+    cal.save(path)
+    assert Calibration.load(path) == cal
+
+
+def test_calibration_load_rejects_stale_and_corrupt(tmp_path):
+    path = tmp_path / "calibration.json"
+    assert Calibration.load(path) is None  # missing
+    path.write_text("{not json")
+    assert Calibration.load(path) is None  # corrupt
+    cal = Calibration(gather_ns=1.0, scatter_ns=1.0, flop_ns=1.0, block_flop_ns=1.0, overhead_us=1.0)
+    cal.save(path)
+    stale = path.read_text().replace(f'"version": {CALIBRATION_VERSION}', '"version": -1')
+    path.write_text(stale)
+    assert Calibration.load(path) is None  # stale version
+
+
+def test_calibration_env_var_persistence(tmp_path, monkeypatch):
+    from repro.tuner import get_calibration, set_calibration
+    from repro.tuner.calibration import CALIBRATION_ENV_VAR
+
+    path = tmp_path / "cal.json"
+    monkeypatch.setenv(CALIBRATION_ENV_VAR, str(path))
+    set_calibration(None)
+    try:
+        first = get_calibration()
+        assert path.exists()
+        set_calibration(None)
+        assert get_calibration() == first  # loaded back from the file
+    finally:
+        set_calibration(None)
+
+
+# ---------------------------------------------------------------------------
+# Cost model rankings
+# ---------------------------------------------------------------------------
+def _rank_names(dense, n_cols=64):
+    profile = profile_operand(dense)
+    ranked = CostModel().rank(profile, enumerate_candidates(profile), n_cols=n_cols)
+    return [s.candidate for s in ranked]
+
+
+def test_scatter_free_ell_beats_coo_on_uniform_rows():
+    dense = random_sparse_matrix((256, 256), 0.05, rng=0)
+    ranked = _rank_names(dense)
+    names = [c.format_name for c in ranked]
+    assert names.index("ELL") < names.index("COO")
+    assert names[-1] == "COO"  # per-nonzero scatters make COO the priciest
+
+
+def test_block_format_wins_on_block_structure():
+    dense = random_block_sparse_matrix(256, (16, 16), 0.08, rng=1)
+    best = _rank_names(dense)[0]
+    assert best.format_name in ("BlockCOO", "BlockGroupCOO")
+    assert best.block_shape == (16, 16)
+
+
+def test_no_block_candidates_on_unstructured_data():
+    dense = random_sparse_matrix((256, 256), 0.05, rng=2)
+    assert all(c.block_shape is None for c in _rank_names(dense))
+
+
+def test_grouping_beats_plain_coo_on_powerlaw_rows():
+    rng = np.random.default_rng(3)
+    dense = np.zeros((256, 256))
+    occupancy = np.minimum(256, (rng.pareto(1.1, 256) * 4 + 1).astype(int))
+    for row, occ in enumerate(occupancy):
+        dense[row, rng.choice(256, size=occ, replace=False)] = 1.0
+    ranked = _rank_names(dense)
+    assert ranked[0].format_name == "GroupCOO"
+
+
+def test_estimate_scales_with_n_cols():
+    profile = profile_operand(random_sparse_matrix((128, 128), 0.05, rng=4))
+    model = CostModel()
+    coo = Candidate("COO")
+    assert model.estimate_ms(profile, coo, n_cols=128) > model.estimate_ms(profile, coo, n_cols=16)
+
+
+def test_explain_census_terms():
+    profile = profile_operand(random_sparse_matrix((64, 64), 0.1, rng=5))
+    terms = CostModel().explain(profile, Candidate("COO"), n_cols=8)
+    nnz = profile.nnz
+    assert terms["scatter_elements"] == nnz * 8
+    assert terms["scalar_macs"] == 2 * nnz * 8
+    assert terms["block_macs"] == 0
+    assert terms["modeled_ms"] > 0
+
+
+def test_unknown_candidate_raises():
+    profile = profile_operand(random_sparse_matrix((32, 32), 0.1, rng=6))
+    with pytest.raises(TunerError):
+        CostModel().estimate_ms(profile, Candidate("CSR"))
+    with pytest.raises(TunerError):
+        # Block candidate without block statistics in the profile.
+        CostModel().estimate_ms(profile, Candidate("BlockCOO", block_shape=(3, 3)))
