@@ -31,6 +31,7 @@ PUBLIC_MODULES = [
     "repro.runtime",
     "repro.formats",
     "repro.tuner",
+    "repro.engine",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

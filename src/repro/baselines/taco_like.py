@@ -87,10 +87,11 @@ class TacoSparseCompiler(Baseline):
             out = np.concatenate(outputs)
             order = np.argsort(out, kind="stable")
             out = out[order]
+            counts = np.bincount(out, minlength=kernel_map.num_voxels)
             indptr = np.zeros(kernel_map.num_voxels + 1, dtype=np.int64)
-            np.add.at(indptr, out + 1, 1)
+            np.cumsum(counts, out=indptr[1:])
             self._converted = {
-                "out_ptr": np.cumsum(indptr),
+                "out_ptr": indptr,
                 "pair_inputs": np.concatenate(inputs)[order],
                 "pair_offsets": np.concatenate(offsets)[order],
             }

@@ -101,7 +101,11 @@ def select(x: np.ndarray, dim: int, index: int) -> np.ndarray:
 # ---------------------------------------------------------------------------
 @register_op("einsum", OpCategory.CONTRACTION, "Dense Einstein summation over the operands.")
 def einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
-    return np.einsum(equation, *operands, optimize=True)
+    # Lazy import: repro.engine depends on the planner, which builds FX
+    # graphs over these operators.
+    from repro.engine.paths import cached_einsum
+
+    return cached_einsum(equation, *operands)
 
 
 @register_op("sum", OpCategory.REDUCTION, "Sum-reduce over the given axes.")
@@ -150,13 +154,15 @@ def transpose(x: np.ndarray, perm: Sequence[int]) -> np.ndarray:
     "Functional torch.index_add_: out + scatter-add of source along dim at index.",
 )
 def index_add(out: np.ndarray, dim: int, index: np.ndarray, source: np.ndarray) -> np.ndarray:
+    from repro.engine.segment import segment_add
+
     index = np.asarray(index)
     if index.ndim != 1:
         raise FXGraphError(f"index_add expects a 1-D index, got shape {index.shape}")
     result = np.array(out, dtype=np.result_type(out, source), copy=True)
     moved_result = np.moveaxis(result, dim, 0)
     moved_source = np.moveaxis(source, dim, 0)
-    np.add.at(moved_result, index, moved_source)
+    segment_add(moved_result, index, moved_source)
     return result
 
 

@@ -47,6 +47,9 @@ class CompiledInsum:
     dot: DotInfo | None
     autotune: AutotuneResult
     compile_seconds: float = 0.0
+    #: Specialized NumPy closure from :mod:`repro.engine` (``None`` when
+    #: ``config.specialize`` is off or the schedule is unfused).
+    specialized: object | None = field(default=None, repr=False)
     _source_cache: str | None = field(default=None, repr=False)
 
     # -- execution -----------------------------------------------------------
@@ -55,7 +58,17 @@ class CompiledInsum:
         return len(self.kernel_plans) == 1
 
     def run(self, tensors: dict[str, np.ndarray]) -> np.ndarray:
-        """Execute the compiled program on NumPy tensors."""
+        """Execute the compiled program on NumPy tensors.
+
+        Routes through the plan-time specialized closure when one was
+        built (cached contraction path, segment-sum scatter, buffer
+        arena); otherwise falls back to the interpretive fused/unfused
+        executors.
+        """
+        from repro.engine.flags import engine_disabled
+
+        if self.specialized is not None and not engine_disabled():
+            return self.specialized.run(tensors)
         if self.is_fused:
             return run_fused(self.plan, tensors, chunk_size=self.config.execution_chunk)
         return run_unfused(self.plan, tensors)
@@ -104,6 +117,11 @@ def compile_plan(plan: InsumPlan, config: InductorConfig | None = None) -> Compi
             build_kernel_spec(kp, dot, config, autotune.best_tiles) for kp in kernel_plans
         ]
         cost = estimate_total_time(kernels, config.device)
+        specialized = None
+        if config.specialize and len(kernel_plans) == 1:
+            from repro.engine.specialize import specialize_plan
+
+            specialized = specialize_plan(plan, config)
     return CompiledInsum(
         plan=plan,
         config=config,
@@ -114,6 +132,7 @@ def compile_plan(plan: InsumPlan, config: InductorConfig | None = None) -> Compi
         dot=dot,
         autotune=autotune,
         compile_seconds=timer.elapsed,
+        specialized=specialized,
     )
 
 

@@ -39,6 +39,15 @@ class InductorConfig:
     autotune: bool = True
     #: Chunk size of the fused NumPy executor along the leading output axis.
     execution_chunk: int = 128
+    #: Execute through :mod:`repro.engine` specialized closures (cached
+    #: contraction paths, segment-sum scatters, buffer arena).  Disable to
+    #: fall back to the interpretive executor — the benchmark harness does
+    #: this to measure the specialization payoff.
+    specialize: bool = True
+    #: Total temporary elements (gathered factors + contraction partial)
+    #: below which a specialized kernel runs its whole iteration space as
+    #: one window instead of streaming ``execution_chunk``-sized chunks.
+    specialize_single_shot_elements: int = 1 << 22
     #: Simulated device the cost model targets.
     device: DeviceModel = field(default_factory=lambda: RTX3090)
 
@@ -77,6 +86,8 @@ class InductorConfig:
             raise ValueError(f"unsupported dtype {self.dtype!r}; use 'fp16' or 'fp32'")
         if self.execution_chunk < 1:
             raise ValueError("execution_chunk must be at least 1")
+        if self.specialize_single_shot_elements < 0:
+            raise ValueError("specialize_single_shot_elements must be >= 0")
         if self.tile_sizes is not None:
             for key, value in self.tile_sizes.items():
                 if value < 1:

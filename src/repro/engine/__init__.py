@@ -1,0 +1,74 @@
+"""repro.engine — plan-time specialization for compiled indirect Einsums.
+
+The compiler stack (``repro.core``) decides *what* to execute; this
+package makes the execution itself cheap.  It turns each compiled
+:class:`~repro.core.insum.planner.InsumPlan` into an allocation-light
+NumPy closure with every value-independent decision made at compile time,
+and supplies the identity-keyed caches that let a serving process stop
+re-deriving per-operand artefacts on every request:
+
+* :mod:`repro.engine.specialize` — :class:`SpecializedKernel`, the
+  compiled closure (chunk schedule, cached contraction path, segment-sum
+  scatter, buffer arena);
+* :mod:`repro.engine.paths` — process-wide ``np.einsum_path`` memo;
+* :mod:`repro.engine.segment` — ``np.add.at`` replaced by disjoint-row
+  fancy ``+=`` or sorted ``np.add.reduceat`` segment sums;
+* :mod:`repro.engine.fingerprint` — identity tokens for live arrays,
+  pattern fingerprints for formats, and the derived-artefact cache;
+* :mod:`repro.engine.arena` — per-thread reusable scratch buffers;
+* :mod:`repro.engine.coalesce` — widening helpers behind the server's
+  same-plan request coalescing.
+
+See ``docs/PERFORMANCE.md`` for what is specialized and how the gains are
+tracked in ``benchmarks/results/BENCH_runtime.json``.
+"""
+
+from repro.engine.arena import BufferArena
+from repro.engine.coalesce import (
+    CoalesceTicket,
+    coalesce_key,
+    split_results,
+    stack_group,
+    widen_expression,
+)
+from repro.engine.flags import engine_disabled, legacy_mode
+from repro.engine.fingerprint import (
+    array_token,
+    clear_derived_cache,
+    derived,
+    derived_cache_size,
+    pattern_fingerprint,
+)
+from repro.engine.paths import (
+    cached_einsum,
+    cached_einsum_path,
+    clear_path_cache,
+    path_cache_stats,
+)
+from repro.engine.segment import ScatterPlan, plan_scatter, segment_add
+from repro.engine.specialize import SpecializedKernel, specialize_plan
+
+__all__ = [
+    "BufferArena",
+    "CoalesceTicket",
+    "ScatterPlan",
+    "SpecializedKernel",
+    "array_token",
+    "cached_einsum",
+    "cached_einsum_path",
+    "clear_derived_cache",
+    "clear_path_cache",
+    "coalesce_key",
+    "derived",
+    "derived_cache_size",
+    "engine_disabled",
+    "legacy_mode",
+    "pattern_fingerprint",
+    "path_cache_stats",
+    "plan_scatter",
+    "segment_add",
+    "specialize_plan",
+    "split_results",
+    "stack_group",
+    "widen_expression",
+]

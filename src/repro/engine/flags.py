@@ -1,0 +1,48 @@
+"""Engine kill-switch: run the stack as if the engine did not exist.
+
+The specialization engine threads through several layers (executor,
+API memos, scatter lowering), which makes "how much does it buy?"
+unmeasurable after the fact — the old code paths are gone.
+:func:`legacy_mode` brings them back for a scope: inside the context the
+interpretive executor searches contraction paths per call, ``np.add.at``
+replaces segment sums, rewrites and bounds checks re-run per request, and
+compiled plans skip their specialized closures.
+
+The flag is **process-global** (it must reach a server's worker threads),
+so scopes from concurrent threads nest by reference count.  This exists
+for the benchmark harness (an honest before/after on one machine, see
+``benchmarks/bench_runtime_throughput.py``) and for debugging suspected
+engine miscompares; production code never enters it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+_LOCK = threading.Lock()
+_DISABLED = 0
+
+
+def engine_disabled() -> bool:
+    """True inside any live :func:`legacy_mode` scope."""
+    return _DISABLED > 0
+
+
+@contextmanager
+def legacy_mode() -> Iterator[None]:
+    """Execute as the pre-engine stack did (process-wide, re-entrant).
+
+    Disables, for the duration of the scope: specialized closures,
+    cached contraction paths in the interpretive executor, segment-sum
+    scatter lowering, the rewrite memo, and the bounds-check memo.
+    """
+    global _DISABLED
+    with _LOCK:
+        _DISABLED += 1
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _DISABLED -= 1

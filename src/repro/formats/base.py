@@ -103,6 +103,25 @@ class SparseFormat(abc.ABC):
             "falls back to sequential for this format"
         )
 
+    def fingerprint(self) -> tuple:
+        """Identity fingerprint of this operand's sparsity *pattern*.
+
+        Combines the format class, logical shape, value-array signature,
+        and the identity tokens of the metadata arrays (values excluded) —
+        see :func:`repro.engine.fingerprint.pattern_fingerprint`.  Two
+        instances share a fingerprint exactly when they reference the same
+        live metadata arrays, which is what the serving runtime's
+        same-plan request coalescing keys on.  Memoized per instance
+        (formats are immutable).
+        """
+        cached = getattr(self, "_fingerprint_memo", None)
+        if cached is None:
+            from repro.engine.fingerprint import pattern_fingerprint
+
+            cached = pattern_fingerprint(self)
+            self._fingerprint_memo = cached
+        return cached
+
     # -- storage accounting -------------------------------------------------
     def value_count(self) -> int:
         """Number of stored value slots, including padding."""

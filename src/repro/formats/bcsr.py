@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.formats.base import SparseFormat
 from repro.formats.blocking import nonzero_blocks
+from repro.formats.csr import _rows_to_indptr
 from repro.utils.arrays import as_index_array, as_value_array
 
 
@@ -64,9 +65,7 @@ class BCSR(SparseFormat):
         block_rows = dense.shape[0] // block_shape[0]
         order = np.lexsort((cols, rows))
         rows, cols, blocks = rows[order], cols[order], blocks[order]
-        indptr = np.zeros(block_rows + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        indptr = np.cumsum(indptr)
+        indptr = _rows_to_indptr(rows, block_rows)
         return cls(dense.shape, block_shape, indptr, cols, blocks)
 
     @classmethod
@@ -77,9 +76,7 @@ class BCSR(SparseFormat):
         cols = blockcoo.block_cols[order]
         blocks = blockcoo.values[order]
         block_rows = blockcoo.grid_shape[0]
-        indptr = np.zeros(block_rows + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        indptr = np.cumsum(indptr)
+        indptr = _rows_to_indptr(rows, block_rows)
         return cls(blockcoo.shape, blockcoo.block_shape, indptr, cols, blocks)
 
     # -- SparseFormat interface --------------------------------------------------------

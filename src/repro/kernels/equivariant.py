@@ -136,10 +136,15 @@ class FullyConnectedTensorProduct:
         return self._compiled.estimated_ms
 
     def reference(self, x: np.ndarray, y: np.ndarray, w: np.ndarray) -> np.ndarray:
-        """Dense einsum over the full CG tensor, used by the tests."""
-        return np.einsum(
-            "ijkl,bju,bk,bluw->biw", self.cg.dense, x, y, w, optimize=True
-        )
+        """Dense einsum over the full CG tensor, used by the tests.
+
+        The four-factor contraction path is resolved once per shape
+        signature through the engine's path cache instead of on every
+        call.
+        """
+        from repro.engine.paths import cached_einsum
+
+        return cached_einsum("ijkl,bju,bk,bluw->biw", self.cg.dense, x, y, w)
 
     # -- introspection ----------------------------------------------------------------
     @property

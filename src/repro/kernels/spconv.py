@@ -15,6 +15,8 @@ import numpy as np
 from repro.core.inductor import InductorConfig
 from repro.core.insum import Insum
 from repro.datasets.pointclouds import KernelMap
+from repro.engine.fingerprint import derived
+from repro.engine.segment import plan_scatter, segment_add
 from repro.errors import ShapeError
 
 
@@ -109,7 +111,10 @@ class SparseConv3d:
                 continue
             gathered = features[pairs[:, 1]]
             contribution = gathered @ self.weight[offset_index]
-            np.add.at(output, pairs[:, 0], contribution)
+            # Segment-sum scatter; the per-offset scatter plan (sort order
+            # and segment boundaries) is memoized on the pairs array.
+            plan = derived(pairs, "spconv-out-scatter", lambda pairs=pairs: plan_scatter(pairs[:, 0]))
+            segment_add(output, pairs[:, 0], contribution, plan=plan)
         return output
 
     # -- introspection ------------------------------------------------------------

@@ -78,10 +78,18 @@ class PlanCacheStats:
 
 @dataclass(frozen=True)
 class CachedPlan:
-    """One cache entry: the plan and the backend-compiled kernel."""
+    """One cache entry: the plan, the compiled kernel, and its specialization.
+
+    ``specialized`` is the :class:`~repro.engine.specialize.SpecializedKernel`
+    built at compile time (``None`` for the eager backend or when
+    specialization is disabled); caching it alongside the plan means a
+    cache hit hands back the fully specialized closure — precomputed
+    contraction path, scatter plans, and arena included.
+    """
 
     plan: Any
     compiled: Any
+    specialized: Any = None
 
 
 class PlanCache:

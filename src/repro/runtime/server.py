@@ -113,6 +113,20 @@ class InsumServer:
     tune:
         Tuner mode when ``auto_format`` is on: ``"auto"`` (cost model) or
         ``"measure"`` (empirical timing of the top candidates).
+    coalesce:
+        Same-plan request coalescing (on by default): a worker drains the
+        queue opportunistically and executes requests that share one
+        logical expression and one sparse *pattern* (the same live format
+        instance) as a single widened
+        :class:`~repro.runtime.stacked.StackedSparse` Einsum, instead of
+        one kernel per request.  Results are numerically equal to
+        individual execution up to floating-point reassociation of the
+        batched contraction.
+    coalesce_max:
+        Largest group executed as one batch.  Batches are zero-padded to
+        the next power of two (capped here), so each expression compiles
+        at most ``log2(coalesce_max)`` stacked plans while padded compute
+        stays under 2x.
     """
 
     def __init__(
@@ -124,15 +138,21 @@ class InsumServer:
         num_shards: int = 1,
         auto_format: bool = False,
         tune: str = "auto",
+        coalesce: bool = True,
+        coalesce_max: int = 16,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if coalesce_max < 2:
+            raise ValueError(f"coalesce_max must be >= 2, got {coalesce_max}")
         self.backend = backend
         self.config = config
         self.check_bounds = check_bounds
         self.num_shards = int(num_shards)
         self.auto_format = bool(auto_format)
         self.tune = tune
+        self.coalesce = bool(coalesce)
+        self.coalesce_max = int(coalesce_max)
 
         self._queue: queue.Queue[InsumRequest | None] = queue.Queue()
         self._results: dict[int, InsumResult] = {}
@@ -141,12 +161,17 @@ class InsumServer:
         self._operators: dict[tuple[str, str], _OperatorSlot] = {}
         self._operators_lock = threading.Lock()
         self._ids = itertools.count()
-        #: expression -> (is_logical, rhs_factor_names); used by the
-        #: auto_format path to recognise dense operands it may sparsify.
-        self._expression_info: dict[str, tuple[bool, tuple[str, ...]]] = {}
+        #: expression -> (is_logical, rhs_factor_names, statement); used by
+        #: the auto_format path to recognise dense operands it may
+        #: sparsify and by coalescing to build widened statements.
+        self._expression_info: dict[str, tuple[bool, tuple[str, ...], Any]] = {}
+        #: expression -> widened (expression, stack_var), built on demand.
+        self._widened: dict[str, tuple[str, str] | None] = {}
         self._latencies = LatencyRecorder()
         self._completed = 0
         self._failed = 0
+        self._coalesced_requests = 0
+        self._coalesced_batches = 0
         self._window_started: float | None = None
         self._window_finished: float | None = None
         self._cache_mark: PlanCacheStats = get_plan_cache().stats()
@@ -338,12 +363,14 @@ class InsumServer:
                 self._operators[key] = slot
             return slot
 
-    def _expression_info_for(self, expression: str) -> tuple[bool, tuple[str, ...]]:
+    def _expression_info_for(self, expression: str) -> tuple[bool, tuple[str, ...], Any]:
         """Whether an expression is purely *logical* (no indirect accesses).
 
         Only logical expressions may have dense operands promoted to
-        sparse formats: in a raw indirect Einsum, a sparse-looking 2-D
-        array is storage (e.g. an ELL value array), not a logical matrix.
+        sparse formats (in a raw indirect Einsum, a sparse-looking 2-D
+        array is storage, not a logical matrix) or be coalesced into
+        widened batches.  Returns ``(logical, rhs_factor_names,
+        statement)``; the statement is ``None`` when parsing failed.
         """
         with self._operators_lock:
             cached = self._expression_info.get(expression)
@@ -361,10 +388,10 @@ class InsumServer:
             )
             rhs = tuple(f.tensor for f in statement.rhs.factors)
         except Exception:  # noqa: BLE001 — classification must not fail a request
-            logical, rhs = False, ()
+            logical, rhs, statement = False, (), None
         with self._operators_lock:
-            self._expression_info[expression] = (logical, rhs)
-        return logical, rhs
+            self._expression_info[expression] = (logical, rhs, statement)
+        return logical, rhs, statement
 
     def _execute(self, request: InsumRequest) -> np.ndarray:
         has_instance = any(
@@ -372,7 +399,7 @@ class InsumServer:
         )
         promoted_name: str | None = None
         if not has_instance and self.auto_format:
-            logical, rhs_names = self._expression_info_for(request.expression)
+            logical, rhs_names, _ = self._expression_info_for(request.expression)
             if logical:
                 for name in rhs_names:
                     value = request.operands.get(name)
@@ -387,6 +414,7 @@ class InsumServer:
         has_sparse = has_instance or promoted_name is not None
         operands = request.operands
         if has_sparse and self.auto_format:
+            logical, rhs_names, _ = self._expression_info_for(request.expression)
             # Re-format the sparse (or promoted dense) operand once, here —
             # decisions are cached per regime bucket — so the sharded path
             # executes the tuner's chosen format and the per-expression
@@ -395,7 +423,6 @@ class InsumServer:
             # is inferred from the request's dense operand so the decision
             # optimises for the actual workload, matching what
             # SparseEinsum._infer_n_cols would derive.
-            logical, rhs_names = self._expression_info_for(request.expression)
             if logical:
                 from repro.tuner.auto import auto_format as tuner_auto_format
 
@@ -440,28 +467,184 @@ class InsumServer:
             if request is None:
                 self._queue.task_done()
                 return
-            started = time.perf_counter()
+            batch = [request]
+            if self.coalesce:
+                # Opportunistic drain: whatever else is already queued (up
+                # to a bounded window) is grouped by coalesce key below.
+                limit = 2 * self.coalesce_max
+                while len(batch) < limit:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is None:
+                        # Another worker's shutdown token: hand it back
+                        # (put before task_done so the queue never looks
+                        # drained while the token is in our hands).
+                        self._queue.put(None)
+                        self._queue.task_done()
+                        break
+                    batch.append(extra)
+            self._process_batch(batch)
+            for _ in batch:
+                self._queue.task_done()
+
+    def _process_batch(self, batch: list[InsumRequest]) -> None:
+        """Group a drained batch by coalesce key and execute the groups.
+
+        Groups of one (and requests that cannot coalesce) run through the
+        ordinary per-request path; larger groups execute as one widened
+        stacked Einsum.  First-arrival order is preserved across groups.
+        """
+        groups: dict[tuple, tuple[list[InsumRequest], Any]] = {}
+        order: list[tuple[str, Any]] = []
+        for request in batch:
+            ticket = self._coalesce_ticket(request) if len(batch) > 1 else None
+            if ticket is None:
+                order.append(("single", request))
+                continue
+            bucket = groups.get(ticket.key)
+            if bucket is None:
+                groups[ticket.key] = ([request], ticket)
+                order.append(("group", ticket.key))
+            else:
+                bucket[0].append(request)
+        for kind, payload in order:
+            if kind == "single":
+                self._process_one(payload)
+                continue
+            requests, ticket = groups[payload]
+            for start in range(0, len(requests), self.coalesce_max):
+                chunk = requests[start : start + self.coalesce_max]
+                if len(chunk) == 1:
+                    self._process_one(chunk[0])
+                else:
+                    self._execute_group(chunk, ticket)
+
+    def _process_one(self, request: InsumRequest) -> None:
+        """Execute one request through the per-request path and record it."""
+        started = time.perf_counter()
+        result = InsumResult(
+            request_id=request.request_id,
+            expression=request.expression,
+            queue_ms=(started - request.submitted_at) * 1e3,
+        )
+        try:
+            result.output = self._execute(request)
+        except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
+            result.error = error
+        result.latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+        self._record(result)
+
+    def _coalesce_ticket(self, request: InsumRequest):
+        """Coalescing analysis of one request (``None`` = not coalescible).
+
+        Coalescing applies to logical expressions over an already-formatted
+        sparse operand; ``auto_format`` servers keep the per-request tuner
+        path, whose format decisions a batched execution must not bypass.
+        """
+        if not self.coalesce or self.auto_format:
+            return None
+        from repro.engine.coalesce import coalesce_key
+
+        logical, _, statement = self._expression_info_for(request.expression)
+        try:
+            return coalesce_key(request.expression, statement, logical, request.operands)
+        except Exception:  # noqa: BLE001 — analysis must not fail a request
+            return None
+
+    def _widened_for(self, expression: str) -> tuple[str, str] | None:
+        """The widened (stacked) expression for one logical expression."""
+        with self._operators_lock:
+            if expression in self._widened:
+                return self._widened[expression]
+        from repro.engine.coalesce import widen_expression
+
+        _, _, statement = self._expression_info_for(expression)
+        widened: tuple[str, str] | None
+        try:
+            widened = widen_expression(statement) if statement is not None else None
+        except Exception:  # noqa: BLE001 — fall back to per-request execution
+            widened = None
+        with self._operators_lock:
+            self._widened[expression] = widened
+        return widened
+
+    def _coalesced_operator_for(self, expression: str, widened_expression: str) -> _OperatorSlot:
+        """The long-lived operator executing coalesced batches of one expression."""
+        key = (expression, "coalesced")
+        with self._operators_lock:
+            slot = self._operators.get(key)
+            if slot is None:
+                slot = _OperatorSlot(
+                    operator=SparseEinsum(
+                        widened_expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                    )
+                )
+                self._operators[key] = slot
+            return slot
+
+    def _execute_group(self, requests: list[InsumRequest], ticket: Any) -> None:
+        """Execute same-key requests as one widened stacked Einsum.
+
+        Any failure falls back to per-request execution, so coalescing can
+        never turn a servable request into an error.
+        """
+        from repro.engine.coalesce import split_results, stack_group
+
+        started = time.perf_counter()
+        try:
+            widened = self._widened_for(requests[0].expression)
+            if widened is None:
+                raise LookupError("expression cannot be widened")
+            # Pad to the next power of two: bounded plan-signature variety
+            # (log2(coalesce_max) sizes per expression) with at most 2x
+            # padded compute, instead of always paying the full width.
+            pad_to = 2
+            while pad_to < len(requests):
+                pad_to *= 2
+            stacked = stack_group(
+                [request.operands for request in requests],
+                ticket.sparse_name,
+                pad_to=min(pad_to, self.coalesce_max),
+            )
+            slot = self._coalesced_operator_for(requests[0].expression, widened[0])
+            with slot.lock:
+                batched = slot.operator(**stacked)
+            outputs = split_results(np.asarray(batched), len(requests))
+        except Exception:  # noqa: BLE001 — coalescing is an optimisation, never a failure
+            for request in requests:
+                self._process_one(request)
+            return
+        finished = time.perf_counter()
+        with self._done:
+            self._coalesced_batches += 1
+            self._coalesced_requests += len(requests)
+        for request, output in zip(requests, outputs):
             result = InsumResult(
                 request_id=request.request_id,
                 expression=request.expression,
+                output=output,
                 queue_ms=(started - request.submitted_at) * 1e3,
+                latency_ms=(finished - request.submitted_at) * 1e3,
             )
-            try:
-                result.output = self._execute(request)
-            except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
-                result.error = error
-            finished = time.perf_counter()
-            result.latency_ms = (finished - request.submitted_at) * 1e3
-            self._latencies.record(result.latency_ms)
-            with self._done:
-                self._results[request.request_id] = result
-                if result.ok:
-                    self._completed += 1
-                else:
-                    self._failed += 1
-                self._window_finished = finished
-                self._done.notify_all()
-            self._queue.task_done()
+            self._record(result)
+
+    def _record(self, result: InsumResult) -> None:
+        """Publish one result and update the serving counters."""
+        finished = time.perf_counter()
+        self._latencies.record(result.latency_ms)
+        with self._done:
+            self._results[result.request_id] = result
+            if result.ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+            self._window_finished = finished
+            self._done.notify_all()
 
     # -- reporting ----------------------------------------------------------
     def stats(self) -> RuntimeStats:
@@ -472,13 +655,25 @@ class InsumServer:
         cache_delta = get_plan_cache().stats().since(self._cache_mark)
         with self._done:
             completed, failed = self._completed, self._failed
-        return build_stats(completed, failed, wall, self._latencies, cache_delta)
+            coalesced_requests = self._coalesced_requests
+            coalesced_batches = self._coalesced_batches
+        return build_stats(
+            completed,
+            failed,
+            wall,
+            self._latencies,
+            cache_delta,
+            coalesced_requests=coalesced_requests,
+            coalesced_batches=coalesced_batches,
+        )
 
     def reset_stats(self) -> None:
         """Start a fresh measurement window (counters, latencies, cache mark)."""
         with self._done:
             self._completed = 0
             self._failed = 0
+            self._coalesced_requests = 0
+            self._coalesced_batches = 0
             self._window_started = None
             self._window_finished = None
         self._latencies.reset()

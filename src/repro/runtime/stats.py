@@ -26,6 +26,8 @@ class RuntimeStats:
     max_latency_ms: float
     cache_hits: int
     cache_misses: int
+    coalesced_requests: int = 0
+    coalesced_batches: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -34,9 +36,20 @@ class RuntimeStats:
 
     @property
     def cache_hit_rate(self) -> float:
-        """Plan-cache hit rate over this serving window (0.0 when idle)."""
-        lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
+        """Fraction of requests served without compiling (0.0 when idle).
+
+        Coalesced requests beyond the first of each batch never perform a
+        plan-cache lookup at all — the batch compiles (or hits) once — so
+        they count as lookup-free hits alongside the cache's own hits.
+        """
+        free = max(0, self.coalesced_requests - self.coalesced_batches)
+        lookups = self.cache_hits + self.cache_misses + free
+        return (self.cache_hits + free) / lookups if lookups else 0.0
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of completed requests served via coalesced batches."""
+        return self.coalesced_requests / self.completed if self.completed else 0.0
 
     def summary(self) -> str:
         """Multi-line human-readable report (throughput, latency, cache)."""
@@ -50,6 +63,8 @@ class RuntimeStats:
                 f"max {self.max_latency_ms:.3f} ms",
                 f"plan cache : {self.cache_hits} hits / {self.cache_misses} misses "
                 f"(hit rate {self.cache_hit_rate:.1%})",
+                f"coalescing : {self.coalesced_requests} requests in "
+                f"{self.coalesced_batches} batches ({self.coalesce_rate:.1%} of requests)",
             ]
         )
 
@@ -60,8 +75,25 @@ def build_stats(
     wall_seconds: float,
     latencies: LatencyRecorder,
     cache_delta: PlanCacheStats,
+    coalesced_requests: int = 0,
+    coalesced_batches: int = 0,
 ) -> RuntimeStats:
-    """Assemble a :class:`RuntimeStats` from the server's raw collectors."""
+    """Assemble a :class:`RuntimeStats` from the server's raw collectors.
+
+    Parameters
+    ----------
+    completed / failed:
+        Request counters over the window.
+    wall_seconds:
+        Serving wall-clock covered by the window.
+    latencies:
+        Per-request latency samples.
+    cache_delta:
+        Plan-cache counter delta over the window.
+    coalesced_requests / coalesced_batches:
+        How many requests were served through coalesced batches, and how
+        many batches those were.
+    """
     return RuntimeStats(
         completed=completed,
         failed=failed,
@@ -72,4 +104,6 @@ def build_stats(
         max_latency_ms=latencies.max_ms(),
         cache_hits=cache_delta.hits,
         cache_misses=cache_delta.misses,
+        coalesced_requests=coalesced_requests,
+        coalesced_batches=coalesced_batches,
     )

@@ -276,6 +276,14 @@ def profile_operand(operand, block_shapes=CANDIDATE_BLOCK_SHAPES) -> SparsityPro
     if isinstance(operand, SparseFormat) and operand.format_name == "StackedSparse":
         # Profile the shared pattern; values come from the base operand.
         operand = operand.base  # type: ignore[attr-defined]
+    memo_key = tuple(block_shapes)
+    if isinstance(operand, SparseFormat):
+        # Formats are immutable, so the profile is a per-instance constant:
+        # memoize it so a server re-profiling the same operand on every
+        # request pays the O(nnz) extraction once.
+        cached = getattr(operand, "_profile_memo", None)
+        if cached is not None and cached[0] == memo_key:
+            return cached[1]
     shape, rows, cols = _matrix_coords(operand)
     n_rows, n_cols = shape
     nnz = int(rows.size)
@@ -315,7 +323,7 @@ def profile_operand(operand, block_shapes=CANDIDATE_BLOCK_SHAPES) -> SparsityPro
             g_star=float(optimal_group_size(block_occ)),
         )
 
-    return SparsityProfile(
+    profile = SparsityProfile(
         shape=(int(n_rows), int(n_cols)),
         nnz=nnz,
         density=density,
@@ -328,3 +336,6 @@ def profile_operand(operand, block_shapes=CANDIDATE_BLOCK_SHAPES) -> SparsityPro
         blocks=blocks,
         occupancy=occupancy.astype(np.int64),
     )
+    if isinstance(operand, SparseFormat):
+        operand._profile_memo = (memo_key, profile)
+    return profile

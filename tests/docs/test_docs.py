@@ -13,7 +13,12 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[2]
-DOC_PAGES = ["docs/ARCHITECTURE.md", "docs/FORMATS.md", "docs/BENCHMARKS.md"]
+DOC_PAGES = [
+    "docs/ARCHITECTURE.md",
+    "docs/FORMATS.md",
+    "docs/BENCHMARKS.md",
+    "docs/PERFORMANCE.md",
+]
 
 
 def _run(args: list[str]) -> subprocess.CompletedProcess:

@@ -1,0 +1,240 @@
+"""Unit tests for the engine's caches and primitives.
+
+Covers the contraction-path memo, the identity token / derived-artefact
+cache, the segment-sum scatter, the buffer arena, per-instance profile
+memoization, and the legacy-mode kill-switch.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BufferArena,
+    array_token,
+    cached_einsum,
+    cached_einsum_path,
+    derived,
+    engine_disabled,
+    legacy_mode,
+    path_cache_stats,
+    plan_scatter,
+    segment_add,
+)
+from repro.formats import BCSR, COO, CSR, ELL, BlockCOO, BlockGroupCOO, GroupCOO
+from repro.tuner.profile import profile_operand
+
+
+# ---------------------------------------------------------------------------
+# Contraction-path memo
+# ---------------------------------------------------------------------------
+def test_cached_einsum_matches_numpy(rng):
+    a = rng.standard_normal((6, 7))
+    b = rng.standard_normal((7, 5))
+    np.testing.assert_allclose(
+        cached_einsum("ij,jk->ik", a, b), np.einsum("ij,jk->ik", a, b), atol=1e-12
+    )
+
+
+def test_path_cache_hits_on_repeat_shapes(rng):
+    a = rng.standard_normal((4, 9))
+    b = rng.standard_normal((9, 3))
+    cached_einsum_path("ij,jk->ik", a, b)
+    hits_before, _ = path_cache_stats()
+    cached_einsum_path("ij,jk->ik", a + 1.0, b - 1.0)  # same shapes, new values
+    hits_after, _ = path_cache_stats()
+    assert hits_after == hits_before + 1
+
+
+# ---------------------------------------------------------------------------
+# Identity tokens and derived artefacts
+# ---------------------------------------------------------------------------
+def test_array_token_stable_per_object(rng):
+    array = rng.standard_normal(16)
+    assert array_token(array) == array_token(array)
+    other = array.copy()
+    assert array_token(other) != array_token(array)
+
+
+def test_derived_memoizes_per_object(rng):
+    array = rng.integers(0, 8, size=32)
+    calls = []
+
+    def build():
+        calls.append(1)
+        return plan_scatter(array)
+
+    first = derived(array, "test-plan", build)
+    second = derived(array, "test-plan", build)
+    assert first is second and len(calls) == 1
+
+
+def test_derived_distinguishes_new_objects_after_gc(rng):
+    array = rng.integers(0, 8, size=32)
+    token = array_token(array)
+    del array
+    gc.collect()
+    fresh = rng.integers(0, 8, size=32)
+    assert array_token(fresh) != token
+
+
+# ---------------------------------------------------------------------------
+# Segment-sum scatter
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("size,targets", [(0, 4), (5, 8), (200, 16), (200, 1)])
+def test_segment_add_matches_add_at(rng, size, targets):
+    index = rng.integers(0, targets, size=size)
+    source = rng.standard_normal((size, 3))
+    expected = rng.standard_normal((targets, 3))
+    actual = expected.copy()
+    np.add.at(expected, index, source)
+    segment_add(actual, index, source)
+    np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+
+def test_segment_add_disjoint_rows(rng):
+    index = rng.permutation(64)[:32]  # unique targets
+    plan = plan_scatter(index)
+    assert plan.is_disjoint
+    source = rng.standard_normal((32, 4))
+    expected = np.zeros((64, 4))
+    np.add.at(expected, index, source)
+    actual = np.zeros((64, 4))
+    segment_add(actual, index, source, plan=plan)
+    np.testing.assert_array_equal(actual, expected)
+
+
+def test_segment_add_broadcast_scalar_source(rng):
+    index = rng.integers(0, 4, size=100)
+    expected = np.zeros(4)
+    np.add.at(expected, index, 1.0)
+    actual = np.zeros(4)
+    segment_add(actual, index, 1.0)
+    np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+
+def test_plan_scatter_rejects_multidim():
+    with pytest.raises(ValueError):
+        plan_scatter(np.zeros((2, 2), dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Buffer arena
+# ---------------------------------------------------------------------------
+def test_arena_reuses_and_replaces_buffers():
+    arena = BufferArena()
+    first = arena.get("partial", (4, 4), np.float64)
+    second = arena.get("partial", (4, 4), np.float64)
+    assert first is second
+    resized = arena.get("partial", (2, 8), np.float64)
+    assert resized.shape == (2, 8) and resized is not first
+    retyped = arena.get("partial", (2, 8), np.float32)
+    assert retyped.dtype == np.float32
+
+
+# ---------------------------------------------------------------------------
+# Profile memoization (all seven formats)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda d: COO.from_dense(d),
+        lambda d: CSR.from_dense(d),
+        lambda d: ELL.from_dense(d),
+        lambda d: GroupCOO.from_dense(d, group_size=2),
+        lambda d: BCSR.from_dense(d, (4, 4)),
+        lambda d: BlockCOO.from_dense(d, (4, 4)),
+        lambda d: BlockGroupCOO.from_dense(d, (4, 4), group_size=2),
+    ],
+    ids=["coo", "csr", "ell", "groupcoo", "bcsr", "blockcoo", "blockgroupcoo"],
+)
+def test_profile_memoized_on_every_format(build, rng):
+    dense = np.where(rng.random((16, 16)) < 0.3, rng.standard_normal((16, 16)), 0.0)
+    fmt = build(dense)
+    first = profile_operand(fmt)
+    second = profile_operand(fmt)
+    assert first is second  # the O(nnz) extraction ran once
+    # A distinct instance re-profiles (and agrees structurally).
+    other = build(dense)
+    assert profile_operand(other) is not first
+    assert profile_operand(other).unstructured_key() == first.unstructured_key()
+
+
+def test_format_fingerprint_identity_semantics(rng):
+    dense = np.where(rng.random((8, 8)) < 0.4, 1.0, 0.0)
+    fmt = COO.from_dense(dense)
+    assert fmt.fingerprint() == fmt.fingerprint()
+    sibling = fmt.with_values(fmt.values * 2.0)  # shared metadata, new values
+    assert sibling.fingerprint() == fmt.fingerprint()
+    rebuilt = COO.from_dense(dense)  # same pattern, different arrays
+    assert rebuilt.fingerprint() != fmt.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Plan-cache contract
+# ---------------------------------------------------------------------------
+def test_plan_cache_entry_carries_specialized_closure(medium_sparse_matrix, rng):
+    """A cache hit hands back the specialized closure alongside the plan."""
+    from repro import clear_plan_cache
+    from repro.core.insum.api import Insum
+    from repro.runtime.plan_cache import get_plan_cache, plan_key
+
+    coo = COO.from_dense(medium_sparse_matrix)
+    tensors = {
+        "C": np.zeros((64, 4)),
+        "AV": coo.values,
+        "AM": coo.coords[0],
+        "AK": coo.coords[1],
+        "B": rng.standard_normal((96, 4)),
+    }
+    clear_plan_cache()
+    operator = Insum("C[AM[p],n] += AV[p] * B[AK[p],n]")
+    compiled = operator.compile(**tensors)
+    key = plan_key(
+        operator.expression,
+        operator.backend,
+        operator.config,
+        operator.check_bounds,
+        operator._signature(tensors),
+        profile_bucket=None,
+    )
+    entry = get_plan_cache().get(key)
+    assert entry is not None
+    assert entry.specialized is not None
+    assert entry.specialized is compiled.specialized  # one closure, two handles
+
+
+# ---------------------------------------------------------------------------
+# Legacy mode
+# ---------------------------------------------------------------------------
+def test_legacy_mode_flag_and_parity(medium_sparse_matrix, rng):
+    from repro import sparse_einsum
+
+    fmt = COO.from_dense(medium_sparse_matrix)
+    dense_rhs = rng.standard_normal((96, 8))
+    engine_result = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense_rhs)
+    assert not engine_disabled()
+    with legacy_mode():
+        assert engine_disabled()
+        legacy_result = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense_rhs)
+    assert not engine_disabled()
+    np.testing.assert_allclose(engine_result, legacy_result, atol=1e-9)
+    np.testing.assert_allclose(engine_result, medium_sparse_matrix @ dense_rhs, atol=1e-9)
+
+
+def test_bounds_still_checked_on_first_use(rng):
+    """The bounds-verdict memo must not suppress first-call validation."""
+    from repro.core.insum.api import Insum
+    from repro.errors import EinsumValidationError
+
+    bad_index = np.array([0, 99], dtype=np.int64)  # out of range for B
+    tensors = {
+        "C": np.zeros((4, 2)),
+        "AV": np.ones(2),
+        "AM": np.array([0, 1], dtype=np.int64),
+        "AK": bad_index,
+        "B": rng.standard_normal((8, 2)),
+    }
+    with pytest.raises(EinsumValidationError):
+        Insum("C[AM[p],n] += AV[p] * B[AK[p],n]")(**tensors)

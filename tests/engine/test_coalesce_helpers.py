@@ -1,0 +1,98 @@
+"""Unit tests for the value-free coalescing plumbing in repro.engine.coalesce."""
+
+import numpy as np
+import pytest
+
+from repro.core.einsum.parser import parse_einsum
+from repro.engine.coalesce import (
+    coalesce_key,
+    split_results,
+    stack_group,
+    widen_expression,
+)
+from repro.formats import COO, CSR, GroupCOO
+from repro.runtime.stacked import StackedSparse
+
+
+def _key(expression, operands):
+    statement = parse_einsum(expression)
+    return coalesce_key(expression, statement, logical=True, operands=operands)
+
+
+def test_widen_expression_prepends_stack_index():
+    widened, stack = widen_expression(parse_einsum("C[m,n] += A[m,k] * B[k,n]"))
+    assert stack == "s"
+    assert widened == "C[s,m,n] += A[s,m,k] * B[s,k,n]"
+
+
+def test_widen_expression_avoids_name_collisions():
+    widened, stack = widen_expression(parse_einsum("C[s,n] += A[s,k] * B[k,n]"))
+    assert stack != "s" and f"C[{stack},s,n]" in widened
+
+
+def test_coalesce_key_matches_for_shared_pattern(rng):
+    dense = np.where(rng.random((8, 8)) < 0.4, 1.0, 0.0)
+    fmt = COO.from_dense(dense)
+    first = _key("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((8, 4))))
+    second = _key("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((8, 4))))
+    assert first is not None and first.key == second.key
+    assert first.sparse_name == "A"
+    # Same values through with_values (shared metadata) also matches.
+    sibling = fmt.with_values(fmt.values * 3.0)
+    third = _key("C[m,n] += A[m,k] * B[k,n]", dict(A=sibling, B=rng.standard_normal((8, 4))))
+    assert third.key == first.key
+
+
+def test_coalesce_key_rejections(rng):
+    dense = np.where(rng.random((8, 8)) < 0.4, 1.0, 0.0)
+    fmt = COO.from_dense(dense)
+    b = rng.standard_normal((8, 4))
+    expression = "C[m,n] += A[m,k] * B[k,n]"
+    statement = parse_einsum(expression)
+    # Indirect (non-logical) expressions never coalesce.
+    assert coalesce_key(expression, statement, logical=False, operands=dict(A=fmt, B=b)) is None
+    # A bound output (caller-provided accumulation base) opts out.
+    assert _key(expression, dict(A=fmt, B=b, C=np.zeros((8, 4)))) is None
+    # Variable-length and stacked operands opt out.
+    assert _key(expression, dict(A=CSR.from_dense(dense), B=b)) is None
+    stacked = StackedSparse.from_items([fmt, fmt.with_values(fmt.values)])
+    assert _key("C[s,m,n] += A[s,m,k] * B[k,n]", dict(A=stacked, B=b)) is None
+    # Different instances (fresh metadata arrays) do not share a key.
+    other = COO.from_dense(dense)
+    assert (
+        _key(expression, dict(A=fmt, B=b)).key != _key(expression, dict(A=other, B=b)).key
+    )
+    # Different dense signatures do not share a key.
+    wider = rng.standard_normal((8, 6))
+    assert (
+        _key(expression, dict(A=fmt, B=b)).key != _key(expression, dict(A=fmt, B=wider)).key
+    )
+
+
+def test_stack_group_pads_and_split_results_drops_padding(rng):
+    dense = np.where(rng.random((6, 6)) < 0.5, rng.standard_normal((6, 6)), 0.0)
+    fmt = GroupCOO.from_dense(dense, group_size=2)
+    group = [
+        dict(A=fmt.with_values(fmt.values * (i + 1)), B=rng.standard_normal((6, 3)))
+        for i in range(3)
+    ]
+    stacked = stack_group(group, "A", pad_to=4)
+    assert isinstance(stacked["A"], StackedSparse)
+    assert stacked["A"].stack_size == 4
+    assert stacked["B"].shape == (4, 6, 3)
+    np.testing.assert_array_equal(stacked["B"][3], 0.0)
+    np.testing.assert_array_equal(stacked["A"].data[3], 0.0)
+
+    batched = rng.standard_normal((4, 6, 3))
+    outputs = split_results(batched, 3)
+    assert len(outputs) == 3
+    for position, output in enumerate(outputs):
+        np.testing.assert_array_equal(output, batched[position])
+
+
+def test_stack_group_rejects_undersized_pad(rng):
+    dense = np.where(rng.random((4, 4)) < 0.5, 1.0, 0.0)
+    fmt = COO.from_dense(dense)
+    group = [dict(A=fmt, B=np.eye(4)) for _ in range(3)]
+    with pytest.raises(ValueError):
+        stack_group(group, "A", pad_to=2)

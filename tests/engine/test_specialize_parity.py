@@ -1,0 +1,168 @@
+"""Specialized-closure parity against the loop-nest reference interpreter.
+
+The engine's acceptance bar: for every executable format, accumulate and
+non-accumulate statements, and a range of chunk schedules, the
+:class:`~repro.engine.specialize.SpecializedKernel` must match the
+obviously-correct reference interpreter (and the interpretive fused
+executor) on the same operands.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sparse_einsum
+from repro.core.einsum import reference_execute
+from repro.core.inductor.config import InductorConfig
+from repro.core.inductor.executor import run_fused
+from repro.core.insum import plan_insum
+from repro.engine.specialize import SpecializedKernel, specialize_plan
+from repro.formats import COO, ELL, BlockCOO, BlockGroupCOO, GroupCOO
+from repro.runtime.stacked import StackedSparse
+
+
+def _spmm_tensors(fmt, rng, n_rows, n_cols, width=4, accumulate=True):
+    base = rng.standard_normal((n_rows, width)) if accumulate else np.zeros((n_rows, width))
+    return {
+        "C": base,
+        "B": rng.standard_normal((n_cols, width)),
+        **fmt.tensors("A"),
+    }
+
+
+CHUNK_SCHEDULES = [
+    # (chunk_size, single_shot_budget): budget 0 forces streaming windows.
+    (1, 0),
+    (3, 0),
+    (128, 0),
+    (128, 1 << 22),
+]
+
+
+def assert_specialized_matches_reference(expression, tensors):
+    plan = plan_insum(expression, tensors)
+    expected = reference_execute(expression, tensors)
+    fused = run_fused(plan, tensors, chunk_size=3)
+    np.testing.assert_allclose(fused, expected, atol=1e-9)
+    for chunk_size, budget in CHUNK_SCHEDULES:
+        kernel = SpecializedKernel.build(plan, chunk_size=chunk_size, single_shot_budget=budget)
+        result = kernel.run(tensors)
+        np.testing.assert_allclose(result, expected, atol=1e-9)
+        # Repeated execution reuses memoized scatter plans and arena
+        # buffers — results must be bit-identical call to call.
+        np.testing.assert_array_equal(kernel.run(tensors), result)
+
+
+def test_coo_spmm_specialized(small_sparse_matrix, rng):
+    coo = COO.from_dense(small_sparse_matrix)
+    tensors = {
+        "C": np.zeros((8, 4)),
+        "AV": coo.values,
+        "AM": coo.coords[0],
+        "AK": coo.coords[1],
+        "B": rng.standard_normal((12, 4)),
+    }
+    assert_specialized_matches_reference("C[AM[p],n] += AV[p] * B[AK[p],n]", tensors)
+
+
+def test_non_accumulate_statement_specialized(small_sparse_matrix, rng):
+    coo = COO.from_dense(small_sparse_matrix)
+    tensors = {
+        "C": rng.standard_normal((8, 4)),  # existing values must be ignored by '='
+        "AV": coo.values,
+        "AM": coo.coords[0],
+        "AK": coo.coords[1],
+        "B": rng.standard_normal((12, 4)),
+    }
+    assert_specialized_matches_reference("C[AM[p],n] = AV[p] * B[AK[p],n]", tensors)
+
+
+def test_accumulate_into_existing_output_specialized(small_sparse_matrix, rng):
+    coo = COO.from_dense(small_sparse_matrix)
+    tensors = {
+        "C": rng.standard_normal((8, 4)),
+        "AV": coo.values,
+        "AM": coo.coords[0],
+        "AK": coo.coords[1],
+        "B": rng.standard_normal((12, 4)),
+    }
+    assert_specialized_matches_reference("C[AM[p],n] += AV[p] * B[AK[p],n]", tensors)
+
+
+def test_groupcoo_spmm_specialized(small_sparse_matrix, rng):
+    fmt = GroupCOO.from_dense(small_sparse_matrix, group_size=2)
+    tensors = {
+        "C": np.zeros((8, 4)),
+        "B": rng.standard_normal((12, 4)),
+        **fmt.tensors("A"),
+    }
+    assert_specialized_matches_reference("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]", tensors)
+
+
+def test_direct_output_no_scatter_specialized(rng):
+    # Dense-output contraction: the chunk variable is a plain LHS axis.
+    tensors = {
+        "C": np.zeros((6, 5)),
+        "X": rng.standard_normal((6, 7)),
+        "Y": rng.standard_normal((7, 5)),
+    }
+    assert_specialized_matches_reference("C[i,j] += X[i,k] * Y[k,j]", tensors)
+
+
+@pytest.mark.parametrize("format_cls", [COO, ELL, GroupCOO])
+def test_sparse_einsum_parity_unstructured_formats(format_cls, medium_sparse_matrix, rng):
+    """End-to-end: the public API (which routes through the engine) matches dense."""
+    fmt = format_cls.from_dense(medium_sparse_matrix)
+    dense_rhs = rng.standard_normal((96, 8))
+    result = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense_rhs)
+    np.testing.assert_allclose(result, medium_sparse_matrix @ dense_rhs, atol=1e-9)
+
+
+@pytest.mark.parametrize("format_cls", [BlockCOO, BlockGroupCOO])
+def test_sparse_einsum_parity_block_formats(format_cls, rng):
+    dense = np.zeros((32, 32))
+    for block in range(4):
+        dense[block * 8 : block * 8 + 8, block * 8 : block * 8 + 8] = rng.standard_normal((8, 8))
+    fmt = format_cls.from_dense(dense, (8, 8))
+    dense_rhs = rng.standard_normal((32, 6))
+    result = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense_rhs)
+    np.testing.assert_allclose(result, dense @ dense_rhs, atol=1e-9)
+
+
+def test_stacked_sparse_parity(medium_sparse_matrix, rng):
+    mask = medium_sparse_matrix != 0
+    stack = np.where(mask[None], rng.standard_normal((5, 64, 96)), 0.0)
+    stacked = StackedSparse.from_dense(stack, GroupCOO, group_size=4)
+    dense_rhs = rng.standard_normal((96, 8))
+    result = sparse_einsum("C[s,m,n] += A[s,m,k] * B[k,n]", A=stacked, B=dense_rhs)
+    np.testing.assert_allclose(result, stack @ dense_rhs, atol=1e-9)
+
+
+@pytest.mark.parametrize("execution_chunk", [1, 7, 64, 4096])
+def test_chunk_size_invariance_through_config(execution_chunk, medium_sparse_matrix, rng):
+    """The public config's chunk size must not change results."""
+    fmt = COO.from_dense(medium_sparse_matrix)
+    dense_rhs = rng.standard_normal((96, 8))
+    config = InductorConfig(
+        execution_chunk=execution_chunk, specialize_single_shot_elements=0
+    )
+    result = sparse_einsum("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense_rhs, config=config)
+    np.testing.assert_allclose(result, medium_sparse_matrix @ dense_rhs, atol=1e-9)
+
+
+def test_specialize_plan_reports_schedule(small_sparse_matrix, rng):
+    coo = COO.from_dense(small_sparse_matrix)
+    tensors = {
+        "C": np.zeros((8, 4)),
+        "AV": coo.values,
+        "AM": coo.coords[0],
+        "AK": coo.coords[1],
+        "B": rng.standard_normal((12, 4)),
+    }
+    plan = plan_insum("C[AM[p],n] += AV[p] * B[AK[p],n]", tensors)
+    single = specialize_plan(plan, InductorConfig())
+    assert single.single_shot and len(single.windows) == 1
+    chunked = specialize_plan(
+        plan, InductorConfig(execution_chunk=4, specialize_single_shot_elements=0)
+    )
+    assert not chunked.single_shot and len(chunked.windows) > 1
+    assert "specialized" in single.describe()
