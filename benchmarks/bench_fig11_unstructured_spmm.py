@@ -31,8 +31,12 @@ def per_matrix_results():
         cusparse_ms = CuSparseSpMM(csr, dtype="fp32").modeled_ms(placeholder)
         ours_speedups.append(cusparse_ms / ours_ms)
         sputnik_speedups.append(cusparse_ms / sputnik_ms)
-        rows.append([name, csr.shape[0], csr.nnz, cusparse_ms / ours_ms, cusparse_ms / sputnik_ms, 1.0])
-    rows.append(["geomean", "", "", geometric_mean(ours_speedups), geometric_mean(sputnik_speedups), 1.0])
+        rows.append(
+            [name, csr.shape[0], csr.nnz, cusparse_ms / ours_ms, cusparse_ms / sputnik_ms, 1.0]
+        )
+    rows.append(
+        ["geomean", "", "", geometric_mean(ours_speedups), geometric_mean(sputnik_speedups), 1.0]
+    )
     return rows, ours_speedups, sputnik_speedups
 
 

@@ -54,7 +54,10 @@ def test_fig12_sparse_convolution(per_scene_results, report, benchmark):
         format_table(
             ["scene", "voxels", "pairs", "ours_vs_algo2", "algo1_vs_algo2", "algo2"],
             rows,
-            title=f"Figure 12 — sparse convolution speedup over TorchSparse-Algo2 (FP16, {CHANNELS} ch)",
+            title=(
+                f"Figure 12 — sparse convolution speedup over TorchSparse-Algo2 "
+                f"(FP16, {CHANNELS} ch)"
+            ),
         ),
     )
 

@@ -69,7 +69,10 @@ def test_fig13_ablation(ablation_rows, report, benchmark):
         format_table(
             ["configuration", "modeled_ms", "speedup_vs_COO"],
             rows,
-            title=f"Figure 13 — ablation on structured SpMM ({SIZE}x{SIZE}, 90% sparse, 32x32 blocks)",
+            title=(
+                f"Figure 13 — ablation on structured SpMM "
+                f"({SIZE}x{SIZE}, 90% sparse, 32x32 blocks)"
+            ),
             float_format="{:.3f}",
         ),
     )

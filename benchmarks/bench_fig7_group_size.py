@@ -16,7 +16,7 @@ from repro.analysis import format_series
 from repro.datasets import random_block_sparse_matrix
 from repro.formats import BlockGroupCOO
 from repro.formats.blocking import block_occupancy
-from repro.formats.group_size import GroupSizeModel, optimal_group_size
+from repro.formats.group_size import GroupSizeModel
 from repro.kernels import StructuredSpMM
 
 SIZE = 2048

@@ -14,25 +14,36 @@ compiler, so every PR from here on has a perf trajectory to beat:
   (no coalescing, no specialization).  Asserts **>= 3x**.
 * ``StackedSparse`` batched execution vs the per-item Python loop.
 * One-shot ``insum()`` compile saving from the process-wide plan cache.
+* **cluster vs threaded** (``--cluster``) — an open-loop load generator
+  drives the same mixed workload through the multi-process
+  :class:`~repro.cluster.server.ClusterServer` and the threaded
+  ``InsumServer``, reporting req/s and p50/p95 for both.  Skipped on
+  single-core machines, where a process pool cannot beat one GIL.
 
 Every metric lands in ``benchmarks/results/BENCH_runtime.json`` (schema
 documented in ``docs/PERFORMANCE.md``).  The CI smoke job reruns a reduced
 workload via ``python benchmarks/bench_runtime_throughput.py --smoke`` and
 ``scripts/check_bench_regression.py`` fails the build when a speedup ratio
 regresses by more than 25% against the committed baseline.
+
+Determinism: every RNG stream derives from one base seed (the ``--seed``
+flag here, the ``seed`` fixture under pytest), so the smoke gate measures
+the same workload run-to-run.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import os
+import random
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro import InsumServer, clear_plan_cache, get_plan_cache, insum
+from repro import ClusterServer, InsumServer, clear_plan_cache, get_plan_cache, insum
 from repro.core.insum.api import SparseEinsum
 from repro.core.inductor.config import InductorConfig
 from repro.engine import legacy_mode
@@ -42,6 +53,7 @@ from repro.utils.timing import Timer
 
 NUM_REQUESTS = 160
 STACK_SIZE = 32
+DEFAULT_SEED = 7
 RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_runtime.json"
 
 #: Collected across the tests in this module, flushed to RESULTS_JSON by
@@ -49,10 +61,16 @@ RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_runtime.json"
 RECORD: dict = {}
 
 
+def seed_everything(seed: int) -> None:
+    """Seed the legacy global RNGs; per-stream generators derive from ``seed``."""
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+
+
 # ---------------------------------------------------------------------------
 # Workload construction
 # ---------------------------------------------------------------------------
-def build_workload(num_requests: int = NUM_REQUESTS, seed: int = 7) -> list:
+def build_workload(num_requests: int = NUM_REQUESTS, seed: int = DEFAULT_SEED) -> list:
     """The mixed serving workload: weighted SpMM/SpMV traffic + equivariant.
 
     Mirrors a serving steady state: most requests are repeated logical
@@ -137,9 +155,9 @@ def _warm_call_seconds(operator, operands: dict, repeats: int, rounds: int = 3) 
     return best
 
 
-def measure_single_op_latency(repeats: int = 150) -> dict:
+def measure_single_op_latency(repeats: int = 150, seed: int = DEFAULT_SEED) -> dict:
     """Warm per-call latency, engine vs legacy, for representative operators."""
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(seed + 11)
     spmm_dense = np.where(rng.random((256, 256)) < 0.03, rng.standard_normal((256, 256)), 0.0)
     coo_dense = np.where(rng.random((256, 256)) < 0.05, rng.standard_normal((256, 256)), 0.0)
     cases = {
@@ -177,6 +195,85 @@ def measure_single_op_latency(repeats: int = 150) -> dict:
     return {"ops": ops, "geomean_speedup": round(geomean, 3)}
 
 
+def open_loop_load(server, workload: list, rate_rps: float | None = None) -> dict:
+    """Drive ``server`` with an open-loop load generator.
+
+    Requests are submitted at fixed inter-arrival times (``1/rate_rps``
+    seconds apart; unpaced burst when ``rate_rps`` is None) regardless of
+    completions — the open-loop discipline, which unlike closed-loop
+    run-and-wait exposes queueing delay when the server cannot keep up.
+    Returns achieved req/s plus end-to-end latency percentiles.
+    """
+    tickets = []
+    start = time.perf_counter()
+    for index, (expression, operands) in enumerate(workload):
+        if rate_rps is not None:
+            target = start + index / rate_rps
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        tickets.append(server.submit(expression, **operands))
+    results = server.gather(tickets)
+    elapsed = time.perf_counter() - start
+    assert all(result.ok for result in results)
+    latencies = sorted(result.latency_ms for result in results)
+    from repro.utils.timing import percentile
+
+    return {
+        "rps": round(len(results) / elapsed, 1),
+        "p50_ms": round(percentile(latencies, 50.0), 4),
+        "p95_ms": round(percentile(latencies, 95.0), 4),
+    }
+
+
+def measure_cluster_throughput(
+    workload: list,
+    num_workers: int = 2,
+    worker_threads: int = 2,
+    rounds: int = 3,
+    rate_rps: float | None = None,
+) -> dict:
+    """Open-loop req/s and latency: ClusterServer vs the threaded InsumServer.
+
+    The threaded baseline gets the same total worker-thread count as the
+    cluster (``num_workers * worker_threads``) so the comparison isolates
+    the process-vs-thread execution model, not a parallelism mismatch.
+    """
+    warmup = workload[: max(8, len(workload) // 3)]
+    clear_plan_cache()
+    with InsumServer(num_workers=num_workers * worker_threads) as threaded:
+        threaded.run_batch(warmup)
+        threaded_best = None
+        for _ in range(rounds):
+            measured = open_loop_load(threaded, workload, rate_rps=rate_rps)
+            if threaded_best is None or measured["rps"] > threaded_best["rps"]:
+                threaded_best = measured
+    with ClusterServer(
+        num_workers=num_workers, worker_threads=worker_threads, max_inflight=4096
+    ) as cluster:
+        cluster.run_batch(warmup)
+        cluster.reset_stats()  # coalesce/cache rates cover measured rounds only
+        cluster_best = None
+        for _ in range(rounds):
+            measured = open_loop_load(cluster, workload, rate_rps=rate_rps)
+            if cluster_best is None or measured["rps"] > cluster_best["rps"]:
+                cluster_best = measured
+        cluster_stats = cluster.stats()
+    return {
+        "num_workers": num_workers,
+        "worker_threads": worker_threads,
+        "threaded_rps": threaded_best["rps"],
+        "cluster_rps": cluster_best["rps"],
+        "speedup": round(cluster_best["rps"] / threaded_best["rps"], 3),
+        "threaded_p50_ms": threaded_best["p50_ms"],
+        "threaded_p95_ms": threaded_best["p95_ms"],
+        "cluster_p50_ms": cluster_best["p50_ms"],
+        "cluster_p95_ms": cluster_best["p95_ms"],
+        "coalesce_rate": round(cluster_stats.aggregate.coalesce_rate, 4),
+        "restarts": cluster_stats.restarts,
+    }
+
+
 def write_bench_json(record: dict, path: Path = RESULTS_JSON, profile: str = "full") -> None:
     """Write the machine-readable benchmark record (see docs/PERFORMANCE.md)."""
     payload = {
@@ -199,9 +296,9 @@ def write_bench_json(record: dict, path: Path = RESULTS_JSON, profile: str = "fu
 # ---------------------------------------------------------------------------
 # pytest harness (full profile, with the acceptance assertions)
 # ---------------------------------------------------------------------------
-def test_server_engine_vs_legacy_throughput(report):
+def test_server_engine_vs_legacy_throughput(report, seed):
     """Tentpole acceptance: >= 3x server req/s over the pre-engine baseline."""
-    workload = build_workload()
+    workload = build_workload(seed=seed)
     server = measure_server_modes(workload)
     RECORD["server"] = server
 
@@ -231,9 +328,9 @@ def test_server_engine_vs_legacy_throughput(report):
     )
 
 
-def test_single_op_engine_vs_legacy_latency(report):
+def test_single_op_engine_vs_legacy_latency(report, seed):
     """Tentpole acceptance: >= 2x warm single-op latency over the baseline."""
-    single = measure_single_op_latency()
+    single = measure_single_op_latency(seed=seed)
     RECORD["single_op"] = single
 
     assert single["geomean_speedup"] >= 2.0, (
@@ -256,8 +353,48 @@ def test_single_op_engine_vs_legacy_latency(report):
     )
 
 
-def test_stacked_batch_beats_per_item_loop(report):
-    rng = np.random.default_rng(11)
+def test_cluster_vs_threaded_throughput(report, seed):
+    """Cluster acceptance: >= 2 workers beat the threaded server on req/s.
+
+    A process pool cannot beat a single GIL on one core, so the
+    comparison (and its assertion) only runs on multi-core machines —
+    every CI runner qualifies.
+    """
+    import pytest
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("cluster-vs-threaded comparison needs >= 2 cores")
+    workload = build_workload(seed=seed)
+    cluster = measure_cluster_throughput(workload)
+    RECORD["cluster"] = cluster
+
+    assert cluster["speedup"] >= 1.0, (
+        f"ClusterServer ({cluster['num_workers']} workers, {cluster['cluster_rps']} req/s) "
+        f"did not beat the threaded InsumServer ({cluster['threaded_rps']} req/s)"
+    )
+
+    from repro.analysis import format_table
+
+    report(
+        "runtime_cluster_throughput",
+        format_table(
+            ["metric", "threaded", "cluster"],
+            [
+                ["req/s", cluster["threaded_rps"], cluster["cluster_rps"]],
+                ["p50 ms", cluster["threaded_p50_ms"], cluster["cluster_p50_ms"]],
+                ["p95 ms", cluster["threaded_p95_ms"], cluster["cluster_p95_ms"]],
+                ["speedup", "", f"{cluster['speedup']}x"],
+            ],
+            title=(
+                f"ClusterServer ({cluster['num_workers']} workers) vs threaded "
+                f"InsumServer — open-loop mixed workload"
+            ),
+        ),
+    )
+
+
+def test_stacked_batch_beats_per_item_loop(report, seed):
+    rng = np.random.default_rng(seed + 23)
     mask = rng.random((96, 128)) < 0.08
     stack = np.where(mask[None], rng.standard_normal((STACK_SIZE, 96, 128)), 0.0)
     dense = rng.standard_normal((128, 24))
@@ -303,9 +440,9 @@ def test_stacked_batch_beats_per_item_loop(report):
     )
 
 
-def test_one_shot_compile_saving(report):
+def test_one_shot_compile_saving(report, seed):
     """The plan-cache satellite: repeated one-shot insum() calls stop recompiling."""
-    rng = np.random.default_rng(13)
+    rng = np.random.default_rng(seed + 13)
     dense = np.where(rng.random((64, 96)) < 0.1, rng.standard_normal((64, 96)), 0.0)
     coo = COO.from_dense(dense)
     tensors = dict(
@@ -367,20 +504,35 @@ def main(argv: list[str]) -> int:
 
     ``--smoke`` shrinks the workload; ``--out PATH`` redirects the record
     (the CI job writes to a scratch path and compares it against the
-    committed ``benchmarks/results/BENCH_runtime.json``).
+    committed ``benchmarks/results/BENCH_runtime.json``); ``--seed N``
+    makes the measured workload reproducible; ``--cluster`` adds the
+    multi-process vs threaded open-loop comparison (the nightly full
+    benchmark runs with it).
     """
     smoke = "--smoke" in argv
+    with_cluster = "--cluster" in argv
     out_path = RESULTS_JSON
     if "--out" in argv:
         out_path = Path(argv[argv.index("--out") + 1])
+    seed = DEFAULT_SEED
+    if "--seed" in argv:
+        seed = int(argv[argv.index("--seed") + 1])
+    seed_everything(seed)
     num_requests = 96 if smoke else NUM_REQUESTS
     repeats = 40 if smoke else 150
 
     record: dict = {}
-    record["server"] = measure_server_modes(build_workload(num_requests), rounds=3)
-    record["single_op"] = measure_single_op_latency(repeats=repeats)
+    record["server"] = measure_server_modes(build_workload(num_requests, seed=seed), rounds=3)
+    record["single_op"] = measure_single_op_latency(repeats=repeats, seed=seed)
+    if with_cluster:
+        if (os.cpu_count() or 1) < 2:
+            print("skipping --cluster: needs >= 2 cores for a meaningful comparison")
+        else:
+            record["cluster"] = measure_cluster_throughput(
+                build_workload(num_requests, seed=seed), rounds=2 if smoke else 3
+            )
 
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(seed + 23)
     mask = rng.random((48, 64)) < 0.08
     stack = np.where(mask[None], rng.standard_normal((8, 48, 64)), 0.0)
     op = BatchedSpMM(stack, group_size=4)

@@ -13,7 +13,6 @@ import pytest
 
 from repro.analysis import PAPER_BASELINE_LOC, format_table, geometric_mean, loc_saving
 from repro.baselines import (
-    CuSparseSpMM,
     E3nnTensorProduct,
     SputnikSpMM,
     TorchBSRSpMM,

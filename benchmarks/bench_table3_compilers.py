@@ -63,7 +63,10 @@ def test_table3_compiler_comparison(conference_room_problem, report, benchmark):
         format_table(
             ["metric", "Ours", "TACO", "SparseTIR"],
             rows,
-            title="Table 3 — compiler comparison on conferenceRoom sparse convolution (FP16, 128 ch)",
+            title=(
+                "Table 3 — compiler comparison on conferenceRoom sparse convolution "
+                "(FP16, 128 ch)"
+            ),
             float_format="{:.3f}",
         ),
     )

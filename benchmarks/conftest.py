@@ -3,6 +3,10 @@
 Every harness prints the paper-style table or series it reproduces and also
 writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
 assembled from the files regardless of pytest's output capturing.
+
+Determinism: the repository-root ``conftest.py`` registers a ``--seed``
+option and a session-scoped ``seed`` fixture; harnesses derive every RNG
+stream from it, so two runs with the same seed measure the same workload.
 """
 
 from __future__ import annotations

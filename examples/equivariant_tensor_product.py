@@ -33,8 +33,16 @@ def main() -> None:
     cueq = CuEquivarianceTensorProduct(layer.cg, CHANNELS)
     rows = [
         ["Ours (indirect Einsum, fused)", layer.modeled_ms, 1.0],
-        ["e3nn (per-path loops)", e3nn.modeled_ms(x, y, w), e3nn.modeled_ms(x, y, w) / layer.modeled_ms],
-        ["cuEquivariance (segmented)", cueq.modeled_ms(x, y, w), cueq.modeled_ms(x, y, w) / layer.modeled_ms],
+        [
+            "e3nn (per-path loops)",
+            e3nn.modeled_ms(x, y, w),
+            e3nn.modeled_ms(x, y, w) / layer.modeled_ms,
+        ],
+        [
+            "cuEquivariance (segmented)",
+            cueq.modeled_ms(x, y, w),
+            cueq.modeled_ms(x, y, w) / layer.modeled_ms,
+        ],
     ]
     print()
     print(format_table(["implementation", "modeled_ms", "slowdown_vs_ours"], rows,

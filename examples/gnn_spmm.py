@@ -42,7 +42,16 @@ def main() -> None:
         )
 
     print(format_table(
-        ["graph", "rows", "nnz", "g", "ours_ms", "sputnik_ms", "cusparse_ms", "speedup_vs_cusparse"],
+        [
+            "graph",
+            "rows",
+            "nnz",
+            "g",
+            "ours_ms",
+            "sputnik_ms",
+            "cusparse_ms",
+            "speedup_vs_cusparse",
+        ],
         rows,
         title=f"GNN aggregation (SpMM, {FEATURES} features, FP32)",
         float_format="{:.4f}",

@@ -30,7 +30,9 @@ def main() -> None:
 
     # A small two-layer sparse CNN over per-voxel features.
     layer1 = SparseConv3d(kernel_map, in_channels=16, out_channels=CHANNELS, dtype="fp16", rng=1)
-    layer2 = SparseConv3d(kernel_map, in_channels=CHANNELS, out_channels=CHANNELS, dtype="fp16", rng=2)
+    layer2 = SparseConv3d(
+        kernel_map, in_channels=CHANNELS, out_channels=CHANNELS, dtype="fp16", rng=2
+    )
     features = rng.standard_normal((kernel_map.num_voxels, 16))
     hidden = np.maximum(layer1(features), 0.0)  # ReLU
     output = layer2(hidden)
@@ -44,9 +46,13 @@ def main() -> None:
     rows = [
         ["Ours (indirect Einsum, fused)", layer2.modeled_ms],
         ["TorchSparse-Algo1 (ImplicitGEMM)",
-         TorchSparseConv(kernel_map, "implicit_gemm", dtype="fp16").modeled_ms(placeholder, weight)],
+         TorchSparseConv(kernel_map, "implicit_gemm", dtype="fp16").modeled_ms(
+             placeholder, weight
+         )],
         ["TorchSparse-Algo2 (Fetch-on-Demand)",
-         TorchSparseConv(kernel_map, "fetch_on_demand", dtype="fp16").modeled_ms(placeholder, weight)],
+         TorchSparseConv(kernel_map, "fetch_on_demand", dtype="fp16").modeled_ms(
+             placeholder, weight
+         )],
     ]
     print()
     print(format_table(["implementation", "modeled_ms"], rows,

@@ -38,7 +38,10 @@ def main() -> None:
     # Ablation: format and compiler configurations, evaluated by the cost model.
     placeholder = np.zeros((SIZE, SIZE), dtype=np.float32)
     configurations = {
-        "COO (stock backend)": (COO.from_dense(matrix), InductorConfig.torchinductor_default("fp16")),
+        "COO (stock backend)": (
+            COO.from_dense(matrix),
+            InductorConfig.torchinductor_default("fp16"),
+        ),
         "GroupCOO (stock backend)": (
             GroupCOO.from_dense(matrix, group_size=16),
             InductorConfig.torchinductor_default("fp16"),

@@ -1,8 +1,20 @@
 """Calibration check: evaluate the cost model at paper-scale configurations."""
 import numpy as np
-from repro.kernels import StructuredSpMM, UnstructuredSpMM, SparseConv3d, FullyConnectedTensorProduct
-from repro.baselines import (DenseMatmul, TorchBSRSpMM, SputnikSpMM, CuSparseSpMM, TorchSparseConv,
-                             E3nnTensorProduct, CuEquivarianceTensorProduct)
+from repro.kernels import (
+    FullyConnectedTensorProduct,
+    SparseConv3d,
+    StructuredSpMM,
+    UnstructuredSpMM,
+)
+from repro.baselines import (
+    CuEquivarianceTensorProduct,
+    CuSparseSpMM,
+    DenseMatmul,
+    E3nnTensorProduct,
+    SputnikSpMM,
+    TorchBSRSpMM,
+    TorchSparseConv,
+)
 from repro.datasets import (random_block_sparse_matrix, load_graph_matrix, generate_scene, voxelize,
                             build_kernel_map, list_graphs)
 from repro.analysis import geometric_mean
@@ -16,8 +28,11 @@ for sparsity in [0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]:
     ours_ms = ours.estimate_ms(N)
     bsr_ms = TorchBSRSpMM(A, dtype="fp16").modeled_ms(B)
     dense_ms = DenseMatmul(dtype="fp16").modeled_ms(A, B)
-    print(f"  sparsity {sparsity:.2f}: ours {ours_ms:7.3f}  torchbsr {bsr_ms:7.3f}  dense {dense_ms:7.3f}"
-          f"  | ours/dense {dense_ms/ours_ms:5.2f}x  ours/bsr {bsr_ms/ours_ms:5.2f}x  g={ours.format.group_size}")
+    print(
+        f"  sparsity {sparsity:.2f}: ours {ours_ms:7.3f}  torchbsr {bsr_ms:7.3f}"
+        f"  dense {dense_ms:7.3f}  | ours/dense {dense_ms / ours_ms:5.2f}x"
+        f"  ours/bsr {bsr_ms / ours_ms:5.2f}x  g={ours.format.group_size}"
+    )
 
 print("\n=== Fig 11: unstructured SpMM, N=128 fp32 ===")
 ours_speed, sput_speed = [], []
@@ -28,10 +43,16 @@ for name in list_graphs():
     o = ours.estimate_ms(128)
     s = SputnikSpMM(csr, dtype="fp32").modeled_ms(B)
     c = CuSparseSpMM(csr, dtype="fp32").modeled_ms(B)
-    ours_speed.append(c / o); sput_speed.append(c / s)
-    print(f"  {name:16s} rows {csr.shape[0]:6d} nnz {csr.nnz:7d}: ours {o:7.4f} sput {s:7.4f} cusp {c:7.4f}"
-          f" | vs cusp: ours {c/o:4.2f}x sput {c/s:4.2f}x")
-print(f"  geomean: ours {geometric_mean(ours_speed):.3f}x  sputnik {geometric_mean(sput_speed):.3f}x  (paper: 1.20 / 1.09)")
+    ours_speed.append(c / o)
+    sput_speed.append(c / s)
+    print(
+        f"  {name:16s} rows {csr.shape[0]:6d} nnz {csr.nnz:7d}: ours {o:7.4f}"
+        f" sput {s:7.4f} cusp {c:7.4f} | vs cusp: ours {c / o:4.2f}x sput {c / s:4.2f}x"
+    )
+print(
+    f"  geomean: ours {geometric_mean(ours_speed):.3f}x"
+    f"  sputnik {geometric_mean(sput_speed):.3f}x  (paper: 1.20 / 1.09)"
+)
 
 print("\n=== Fig 12: sparse conv, channels 128 fp16 ===")
 ours_vs2 = []
@@ -45,8 +66,11 @@ for scene in ["conferenceRoom", "pantry", "office"]:
     a1 = TorchSparseConv(km, "implicit_gemm", dtype="fp16").modeled_ms(feats, w)
     a2 = TorchSparseConv(km, "fetch_on_demand", dtype="fp16").modeled_ms(feats, w)
     ours_vs2.append(a2 / o)
-    print(f"  {scene:16s} voxels {km.num_voxels:6d} pairs {km.total_pairs:7d}: ours {o:7.4f} algo1 {a1:7.4f} algo2 {a2:7.4f}"
-          f" | ours vs algo2 {a2/o:4.2f}x vs algo1 {a1/o:4.2f}x")
+    print(
+        f"  {scene:16s} voxels {km.num_voxels:6d} pairs {km.total_pairs:7d}: ours {o:7.4f}"
+        f" algo1 {a1:7.4f} algo2 {a2:7.4f} | ours vs algo2 {a2 / o:4.2f}x"
+        f" vs algo1 {a1 / o:4.2f}x"
+    )
 print(f"  geomean ours vs algo2: {geometric_mean(ours_vs2):.2f}x (paper ~1.14x, beats both)")
 
 print("\n=== Table 2: equivariant TP, batch 10000 fp32 ===")
@@ -62,4 +86,7 @@ for lmax in [1, 2, 3]:
         cu = CuEquivarianceTensorProduct(tp.cg, ch).modeled_ms(x, y, w)
         row.append(f"ch{ch}: ours {e3/o:5.2f}x cueq {e3/cu:5.2f}x")
     print(f"  lmax={lmax}: " + " | ".join(row))
-print("  (paper ours: 8.3/4.2/2.3, 5.2/5.4/3.3, 2.6/3.6/2.5; cueq: 2.6/1.5/0.9, 1.1/1.1/0.5, 0.5/0.6/0.3)")
+print(
+    "  (paper ours: 8.3/4.2/2.3, 5.2/5.4/3.3, 2.6/3.6/2.5;"
+    " cueq: 2.6/1.5/0.9, 1.1/1.1/0.5, 0.5/0.6/0.3)"
+)

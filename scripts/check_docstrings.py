@@ -32,6 +32,7 @@ PUBLIC_MODULES = [
     "repro.formats",
     "repro.tuner",
     "repro.engine",
+    "repro.cluster",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

@@ -20,12 +20,16 @@ Public API highlights
 * :mod:`repro.tuner` — cost-model-driven adaptive format selection:
   :func:`repro.auto_format` and the ``insum(..., format="auto")`` path,
   scored by microbenchmark-calibrated analytical costs.
+* :mod:`repro.cluster` — multi-process serving: :class:`repro.ClusterServer`
+  dispatches the ``InsumServer`` surface across worker processes over
+  shared-memory ring transport (see ``docs/SERVING.md``).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
 paper-figure harnesses.
 """
 
+from repro.cluster import ClusterBusyError, ClusterServer, ClusterStats
 from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
 from repro.core.inductor import InductorConfig
 from repro.core.triton_sim import DeviceModel, RTX3090
@@ -48,6 +52,9 @@ from repro.tuner import (
 __version__ = "1.2.0"
 
 __all__ = [
+    "ClusterBusyError",
+    "ClusterServer",
+    "ClusterStats",
     "Insum",
     "SparseEinsum",
     "insum",

@@ -1,0 +1,40 @@
+"""The multi-process serving tier: one GIL per worker, shared-memory IPC.
+
+This package scales :class:`~repro.runtime.server.InsumServer` past a
+single interpreter (the ROADMAP's "production-scale" direction):
+
+* :mod:`repro.cluster.server` — :class:`ClusterServer`, the drop-in
+  multi-process front door (``submit`` / ``submit_many`` / ``gather``).
+* :mod:`repro.cluster.shm` — :class:`ShmRing`, the single-producer
+  single-consumer shared-memory byte ring moving dense payloads.
+* :mod:`repro.cluster.codec` — operand/result descriptors, the
+  once-per-fingerprint pattern broadcast, and the stable-array cache.
+* :mod:`repro.cluster.router` — sticky expression+pattern affinity
+  routing, so worker-side coalescing still sees whole groups.
+* :mod:`repro.cluster.admission` — bounded in-flight admission control
+  with blocking backpressure or reject-with-``retry_after``.
+* :mod:`repro.cluster.worker` — the worker process: an inner
+  ``InsumServer`` (specialization + coalescing intact) behind the rings.
+* :mod:`repro.cluster.stats` — :class:`ClusterStats`, the aggregated
+  pool report.
+
+See ``docs/SERVING.md`` for the architecture and failure model.
+"""
+
+from repro.cluster.admission import AdmissionController, ClusterBusyError
+from repro.cluster.router import Router, affinity_key
+from repro.cluster.server import ClusterServer, WorkerCrashedError
+from repro.cluster.shm import ShmRing, segment_exists
+from repro.cluster.stats import ClusterStats
+
+__all__ = [
+    "AdmissionController",
+    "ClusterBusyError",
+    "ClusterServer",
+    "ClusterStats",
+    "Router",
+    "ShmRing",
+    "WorkerCrashedError",
+    "affinity_key",
+    "segment_exists",
+]

@@ -1,0 +1,98 @@
+"""Admission control: a bounded cluster with explicit backpressure.
+
+An open serving queue is a memory leak with extra steps: under overload
+it grows without bound while every queued request's latency climbs.  The
+cluster instead bounds its total in-flight work (queued + dispatched)
+and pushes back at ``submit()`` time:
+
+* ``policy="block"`` (default) — the submitting thread waits until the
+  cluster has capacity (bounded-queue backpressure), up to
+  ``block_timeout`` seconds before rejecting.
+* ``policy="reject"`` — over-limit submissions fail immediately with
+  :class:`ClusterBusyError`, whose ``retry_after`` estimates (from the
+  cluster's recent service rate) when capacity should free up — the
+  load-shedding contract an upstream load balancer needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class ClusterBusyError(RuntimeError):
+    """The cluster is at its in-flight limit; retry after ``retry_after`` s."""
+
+    def __init__(self, inflight: int, limit: int, retry_after: float):
+        super().__init__(
+            f"cluster is at capacity ({inflight}/{limit} requests in flight); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Counting gate over the cluster's total in-flight requests."""
+
+    def __init__(
+        self,
+        max_inflight: int = 1024,
+        policy: str = "block",
+        block_timeout: float = 30.0,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if policy not in ("block", "reject"):
+            raise ValueError(f"policy must be 'block' or 'reject', got {policy!r}")
+        self.max_inflight = max_inflight
+        self.policy = policy
+        self.block_timeout = block_timeout
+        self._inflight = 0
+        self._rejected = 0
+        self._cond = threading.Condition()
+        #: Exponential moving average of seconds per completed request,
+        #: feeding the ``retry_after`` estimate.
+        self._service_s = 0.01
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._cond:
+            return self._inflight
+
+    @property
+    def rejected(self) -> int:
+        """Submissions refused since construction."""
+        with self._cond:
+            return self._rejected
+
+    def retry_after(self) -> float:
+        """Estimated seconds until capacity frees (one service interval)."""
+        with self._cond:
+            return max(0.001, self._service_s)
+
+    def acquire(self) -> None:
+        """Admit one request or raise :class:`ClusterBusyError`."""
+        deadline = (
+            time.monotonic() + self.block_timeout if self.policy == "block" else None
+        )
+        with self._cond:
+            while self._inflight >= self.max_inflight:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is None or remaining <= 0:
+                    self._rejected += 1
+                    raise ClusterBusyError(
+                        self._inflight, self.max_inflight, max(0.001, self._service_s)
+                    )
+                self._cond.wait(remaining)
+            self._inflight += 1
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """Release one admitted request, optionally recording its service time."""
+        with self._cond:
+            self._inflight = max(0, self._inflight - 1)
+            if service_seconds is not None and service_seconds > 0:
+                self._service_s = 0.8 * self._service_s + 0.2 * service_seconds
+            self._cond.notify()

@@ -1,0 +1,266 @@
+"""Operand/result codec: what goes through the ring, what gets cached where.
+
+The cluster moves three kinds of operand through three channels:
+
+* **Dense arrays** — raw bytes through the shared-memory ring
+  (descriptor ``("ring", offset, nbytes, dtype, shape)``).  Arrays the
+  parent has seen before (by identity token) are *stable* — typically
+  index/metadata tensors of raw indirect Einsums that repeat across
+  requests — and are cached worker-side: the second sighting ships with
+  ``("ring_store", ..., token)`` and every later request references it
+  as ``("cached", token)`` with zero bytes moved.  Both sides run the
+  same LRU over the same descriptor stream, so the parent's mirror of
+  the worker cache never diverges.
+* **Sparse formats** — broadcast once per fingerprint as a pickled
+  control message ``("pattern", key, payload)``; every request then
+  references the worker's cached instance via ``("pattern", key)``.
+  A pattern whose metadata repeats under fresh values re-broadcasts
+  (fingerprints include the value array's identity), which the serving
+  workloads make rare: patterns are long-lived, values ride dense.
+* **Everything else** (scalars, tiny arrays, object dtypes, oversized
+  payloads) — inline-pickled in the envelope ``("inline", payload)``.
+
+Encoding never fails a request: an operand that cannot be encoded at all
+becomes ``("bad", repr)`` and surfaces worker-side as a per-request
+error, with ring space still released by the envelope that carried it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.messages import RequestEnvelope
+from repro.cluster.shm import ShmRing
+from repro.engine.fingerprint import array_token
+from repro.formats.base import SparseFormat
+
+#: Arrays smaller than this pickle inline — a ring round-trip plus a
+#: descriptor costs more than pickling a few dozen bytes.
+INLINE_BYTES = 128
+
+#: Worker-side stable-array cache entries (LRU beyond this).
+ARRAY_CACHE_SIZE = 256
+
+#: Worker-side pattern cache entries (LRU beyond this).  Parent and
+#: worker apply identical updates per descriptor, so an evicted pattern
+#: is evicted on both sides and simply re-broadcasts on next use.
+PATTERN_CACHE_SIZE = 512
+
+
+def _ring_payload(array: np.ndarray) -> np.ndarray | None:
+    """The contiguous, ring-transportable view of ``array`` (or None)."""
+    if array.dtype.hasobject or array.nbytes < INLINE_BYTES:
+        return None
+    return np.ascontiguousarray(array)
+
+
+class OperandEncoder:
+    """Parent-side encoder for one worker incarnation.
+
+    Owns the parent's mirror of the worker's pattern and stable-array
+    caches; a worker restart discards the encoder together with the
+    worker, so the mirrors can never outlive the caches they shadow.
+    """
+
+    def __init__(self, ring: ShmRing, cache_size: int = ARRAY_CACHE_SIZE):
+        self.ring = ring
+        self.cache_size = cache_size
+        self._patterns_sent: OrderedDict[tuple, None] = OrderedDict()
+        self._cached_tokens: OrderedDict[int, None] = OrderedDict()
+        self._seen_tokens: OrderedDict[int, None] = OrderedDict()
+
+    # -- helpers ------------------------------------------------------------
+    def _write(self, payload: np.ndarray, should_abort, release_to: int) -> tuple[tuple, int]:
+        offset, release = self.ring.write(payload, should_abort=should_abort)
+        descriptor = ("ring", offset, payload.nbytes, payload.dtype.str, payload.shape)
+        return descriptor, max(release_to, release)
+
+    def _encode_array(
+        self, array: np.ndarray, should_abort, release_to: int
+    ) -> tuple[tuple, int]:
+        payload = _ring_payload(array)
+        if payload is None or payload.nbytes > self.ring.max_payload:
+            return ("inline", pickle.dumps(np.asarray(array))), release_to
+        token = array_token(array)
+        if token in self._cached_tokens:
+            self._cached_tokens.move_to_end(token)
+            return ("cached", token), release_to
+        stable = token in self._seen_tokens
+        self._seen_tokens[token] = None
+        while len(self._seen_tokens) > 4 * self.cache_size:
+            self._seen_tokens.popitem(last=False)
+        descriptor, release_to = self._write(payload, should_abort, release_to)
+        if stable:
+            descriptor = ("ring_store", *descriptor[1:], token)
+            self._cached_tokens[token] = None
+            while len(self._cached_tokens) > self.cache_size:
+                self._cached_tokens.popitem(last=False)
+        return descriptor, release_to
+
+    def _encode_pattern(self, fmt: SparseFormat) -> tuple[tuple, list[tuple]]:
+        values = getattr(fmt, "values", None)
+        values_token = array_token(values) if isinstance(values, np.ndarray) else None
+        key = (fmt.fingerprint(), values_token)
+        controls: list[tuple] = []
+        if key in self._patterns_sent:
+            self._patterns_sent.move_to_end(key)
+        else:
+            controls.append(("pattern", key, pickle.dumps(fmt)))
+            self._patterns_sent[key] = None
+            while len(self._patterns_sent) > PATTERN_CACHE_SIZE:
+                self._patterns_sent.popitem(last=False)
+        return ("pattern", key), controls
+
+    # -- public API ---------------------------------------------------------
+    def encode_request(
+        self,
+        request_id: int,
+        expression: str,
+        operands: dict[str, Any],
+        attempt: int,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> tuple[RequestEnvelope, list[tuple]]:
+        """Encode one request into (envelope, control messages).
+
+        Control messages (pattern broadcasts) must be queued *before*
+        the envelope — the queue's FIFO order is what guarantees the
+        worker's cache is populated when the reference arrives.
+        """
+        controls: list[tuple] = []
+        encoded: dict[str, tuple] = {}
+        release_to = 0
+        for name, value in operands.items():
+            try:
+                if isinstance(value, SparseFormat):
+                    descriptor, pattern_controls = self._encode_pattern(value)
+                    controls.extend(pattern_controls)
+                elif isinstance(value, np.ndarray):
+                    descriptor, release_to = self._encode_array(
+                        value, should_abort, release_to
+                    )
+                else:
+                    descriptor = ("inline", pickle.dumps(value))
+            except (pickle.PicklingError, TypeError, AttributeError):
+                descriptor = ("bad", repr(value))
+            encoded[name] = descriptor
+        envelope = RequestEnvelope(
+            request_id=request_id,
+            expression=expression,
+            operands=encoded,
+            release_to=release_to,
+            attempt=attempt,
+        )
+        return envelope, controls
+
+
+class OperandDecoder:
+    """Worker-side decoder mirroring :class:`OperandEncoder`'s caches."""
+
+    def __init__(self, ring: ShmRing, cache_size: int = ARRAY_CACHE_SIZE):
+        self.ring = ring
+        self.cache_size = cache_size
+        self._patterns: OrderedDict[tuple, SparseFormat] = OrderedDict()
+        self._arrays: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def store_pattern(self, key: tuple, payload: bytes) -> None:
+        """Handle a ``("pattern", key, payload)`` broadcast."""
+        fmt = pickle.loads(payload)
+        # The parent-side fingerprint memo (identity tokens of the
+        # *parent's* arrays) must not leak into this process, where the
+        # same token values may name unrelated arrays.
+        fmt.__dict__.pop("_fingerprint_memo", None)
+        self._patterns[key] = fmt
+        while len(self._patterns) > PATTERN_CACHE_SIZE:
+            self._patterns.popitem(last=False)
+
+    def _from_ring(self, offset: int, nbytes: int, dtype: str, shape: tuple) -> np.ndarray:
+        buffer = self.ring.read(offset, nbytes)
+        return np.frombuffer(buffer, dtype=np.dtype(dtype)).reshape(shape)
+
+    def decode(self, envelope: RequestEnvelope) -> dict[str, Any]:
+        """Materialise the envelope's operands and release its ring space.
+
+        Every descriptor is processed even when an earlier one fails:
+        the parent mirrors this decoder's caches from the descriptor
+        stream alone, so skipping a ``ring_store`` because an unrelated
+        operand was bad would silently desynchronise the mirror and
+        poison every later ``("cached", token)`` reference.  The first
+        failure is re-raised only after the whole envelope is applied.
+        """
+        operands: dict[str, Any] = {}
+        error: Exception | None = None
+        try:
+            for name, descriptor in envelope.operands.items():
+                try:
+                    operands[name] = self._decode_one(name, descriptor)
+                except Exception as exc:  # noqa: BLE001 — surfaces as a request error
+                    error = error or exc
+        finally:
+            self.ring.release(envelope.release_to)
+        if error is not None:
+            raise error
+        return operands
+
+    def _decode_one(self, name: str, descriptor: tuple) -> Any:
+        """Decode a single operand descriptor, applying its cache effects."""
+        kind = descriptor[0]
+        if kind == "ring":
+            return self._from_ring(*descriptor[1:])
+        if kind == "ring_store":
+            array = self._from_ring(*descriptor[1:5])
+            self._arrays[descriptor[5]] = array
+            while len(self._arrays) > self.cache_size:
+                self._arrays.popitem(last=False)
+            return array
+        if kind == "cached":
+            self._arrays.move_to_end(descriptor[1])
+            return self._arrays[descriptor[1]]
+        if kind == "pattern":
+            self._patterns.move_to_end(descriptor[1])
+            return self._patterns[descriptor[1]]
+        if kind == "inline":
+            return pickle.loads(descriptor[1])
+        raise TypeError(f"operand {name!r} could not be encoded: {descriptor[1]}")
+
+
+# -- results ----------------------------------------------------------------
+def encode_result(
+    ring: ShmRing, array: Any, should_abort: Callable[[], bool] | None = None
+) -> tuple[tuple, int]:
+    """Encode one result array into the response ring.
+
+    Returns ``(descriptor, release_to)``; non-array or oversized results
+    fall back to inline pickling (``release_to`` stays 0).
+    """
+    if isinstance(array, np.ndarray):
+        payload = _ring_payload(array)
+        if payload is not None and payload.nbytes <= ring.max_payload:
+            offset, release_to = ring.write(payload, should_abort=should_abort)
+            return ("ring", offset, payload.nbytes, payload.dtype.str, payload.shape), release_to
+    return ("inline", pickle.dumps(array)), 0
+
+
+def decode_result(ring: ShmRing, descriptor: tuple) -> Any:
+    """Decode a result descriptor produced by :func:`encode_result`."""
+    if descriptor[0] == "ring":
+        _, offset, nbytes, dtype, shape = descriptor
+        buffer = ring.read(offset, nbytes)
+        return np.frombuffer(buffer, dtype=np.dtype(dtype)).reshape(shape)
+    return pickle.loads(descriptor[1])
+
+
+def portable_error(error: BaseException) -> BaseException:
+    """An exception safe to ship across the process boundary.
+
+    Exceptions that do not survive a pickle round-trip are replaced by a
+    ``RuntimeError`` carrying their repr.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 — any pickling failure takes the fallback
+        return RuntimeError(f"worker-side error (not picklable): {error!r}")

@@ -1,0 +1,58 @@
+"""Envelope types crossing the cluster's control queues.
+
+Bulk payloads (dense operands, result arrays) travel through the
+shared-memory rings (:mod:`repro.cluster.shm`); the queues carry only
+these small picklable envelopes plus broadcast/control tuples.  Each
+envelope references ring payloads by ``(offset, nbytes)`` descriptors
+produced by :mod:`repro.cluster.codec`.
+
+Control messages are plain tuples, dispatched on their first element:
+
+* ``("pattern", key, payload)`` — parent -> worker: cache a pickled
+  sparse-format instance under ``key`` before any request references it.
+* ``("stats", serial)`` — parent -> worker: reply with the worker's
+  :class:`~repro.runtime.stats.RuntimeStats`.
+* ``("stats_reply", worker_id, incarnation, serial, stats)`` — the reply.
+* ``("stop",)`` — parent -> worker: finish in-flight work and exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RequestEnvelope:
+    """One request dispatched to a worker.
+
+    ``operands`` maps operand names to codec descriptors (see
+    :mod:`repro.cluster.codec`); ``release_to`` is the request ring
+    cursor the worker stores after decoding every ring-borne operand.
+    ``attempt`` counts dispatches of this request id (requeues after a
+    worker crash increment it).
+    """
+
+    request_id: int
+    expression: str
+    operands: dict[str, tuple] = field(default_factory=dict)
+    release_to: int = 0
+    attempt: int = 0
+
+
+@dataclass
+class ResponseEnvelope:
+    """One completed request reported back by a worker.
+
+    Exactly one of ``result`` (a codec descriptor into the response
+    ring, or an inline descriptor) and ``error`` is set.  ``worker_id``
+    and ``incarnation`` let the parent ignore stale responses from a
+    worker generation it has already replaced.
+    """
+
+    request_id: int
+    worker_id: int
+    incarnation: int
+    result: tuple | None = None
+    error: Any = None
+    release_to: int = 0

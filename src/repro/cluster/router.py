@@ -1,0 +1,85 @@
+"""Affinity routing: same expression + pattern, same worker.
+
+Worker-side performance depends on locality twice over: the inner
+:class:`~repro.runtime.server.InsumServer` can only coalesce requests
+that share an expression and a live sparse pattern if those requests
+land in the *same* process, and the worker's pattern / stable-array /
+plan caches only pay off when the traffic that warmed them keeps
+arriving.  The router therefore assigns each affinity key — the
+expression plus the pattern fingerprints of its sparse operands — to one
+worker, sticky for the key's lifetime, choosing the least-loaded worker
+at first sight so distinct keys spread across the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.engine.fingerprint import array_token
+from repro.formats.base import SparseFormat
+
+
+def affinity_key(expression: str, operands: dict[str, Any]) -> tuple:
+    """The routing key: expression + per-operand pattern fingerprints.
+
+    Sparse operands contribute their pattern fingerprint plus the
+    identity of their value array (two requests over the very same
+    format instance — the coalescing sweet spot — share a key).
+    Requests without sparse operands key on the expression alone, which
+    still concentrates one raw indirect Einsum's repeated metadata
+    arrays on one worker's stable-array cache.
+    """
+    fingerprints = []
+    for name, value in sorted(operands.items()):
+        if isinstance(value, SparseFormat):
+            values = getattr(value, "values", None)
+            token = array_token(values) if isinstance(values, np.ndarray) else None
+            fingerprints.append((name, value.fingerprint(), token))
+    return (expression, tuple(fingerprints))
+
+
+class Router:
+    """Sticky least-loaded assignment of affinity keys to workers.
+
+    Thread-safe: the dispatcher routes while the health monitor forgets
+    a crashed worker's assignments, so the table is lock-guarded.
+    """
+
+    def __init__(self, num_workers: int):
+        self.num_workers = num_workers
+        self._assignment: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+
+    def route(self, key: tuple, load: list[int], exclude: int | None = None) -> int:
+        """The worker for ``key``; first sight picks the least-loaded worker.
+
+        Parameters
+        ----------
+        key:
+            An :func:`affinity_key`.
+        load:
+            Current outstanding-request count per worker (index-aligned).
+        exclude:
+            A worker id to avoid (requeue after its crash); the key is
+            reassigned when it was previously routed there.
+        """
+        with self._lock:
+            worker = self._assignment.get(key)
+            if worker is not None and worker != exclude:
+                return worker
+            candidates = [w for w in range(self.num_workers) if w != exclude]
+            if not candidates:
+                candidates = list(range(self.num_workers))
+            worker = min(candidates, key=lambda w: (load[w], w))
+            self._assignment[key] = worker
+            return worker
+
+    def forget_worker(self, worker_id: int) -> None:
+        """Drop every assignment to ``worker_id`` (its caches are gone)."""
+        with self._lock:
+            stale = [key for key, worker in self._assignment.items() if worker == worker_id]
+            for key in stale:
+                del self._assignment[key]

@@ -1,0 +1,745 @@
+"""ClusterServer: multi-process serving that escapes the GIL.
+
+``InsumServer`` (PR 1–3) serves every request inside one interpreter:
+its engine-specialized kernels are fast, but the Python framework around
+them — queueing, rewriting, coalescing, result bookkeeping — serializes
+on a single GIL.  ``ClusterServer`` keeps the exact same
+``submit`` / ``submit_many`` / ``gather`` surface and moves execution
+into a pool of worker *processes*, each running its own
+:class:`~repro.runtime.server.InsumServer` (specialization and
+same-plan coalescing intact):
+
+* **Transport** — dense operands and results cross as raw bytes through
+  per-worker :class:`~repro.cluster.shm.ShmRing` shared-memory rings;
+  sparse patterns broadcast once per fingerprint and are cached
+  worker-side; repeated metadata arrays are cached by identity token
+  (:mod:`repro.cluster.codec`).
+* **Routing** — requests are assigned by expression + pattern
+  fingerprint (:mod:`repro.cluster.router`), sticky per key, so the
+  inner servers' coalescers still see whole groups.
+* **Admission control** — total in-flight work is bounded; over-limit
+  submissions block (bounded-queue backpressure) or fail fast with
+  :class:`~repro.cluster.admission.ClusterBusyError` carrying a
+  ``retry_after`` estimate.
+* **Health** — a monitor thread watches process liveness and the
+  workers' shared-memory heartbeats; a dead worker is replaced and its
+  in-flight requests are requeued to the survivors (bounded by
+  ``max_attempts``, so a poison request surfaces as an error instead of
+  crashing workers forever).
+* **Stats** — :meth:`stats` returns a
+  :class:`~repro.cluster.stats.ClusterStats`: end-to-end latency and
+  throughput measured at the parent, cache/coalesce counters aggregated
+  across the pool.
+
+See ``docs/SERVING.md`` for the architecture and failure model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import secrets
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.cluster.admission import AdmissionController
+from repro.cluster.codec import OperandEncoder, decode_result
+from repro.cluster.messages import ResponseEnvelope
+from repro.cluster.router import Router, affinity_key
+from repro.cluster.shm import RingAborted, ShmRing
+from repro.cluster.stats import ClusterStats
+from repro.cluster.worker import worker_main
+from repro.runtime.server import InsumResult
+from repro.runtime.stats import RuntimeStats, build_stats
+from repro.runtime.plan_cache import PlanCacheStats
+from repro.utils.timing import LatencyRecorder
+
+#: Default per-direction ring capacity (bytes).
+RING_CAPACITY = 8 * 1024 * 1024
+
+
+class WorkerCrashedError(RuntimeError):
+    """A request exhausted its dispatch attempts across worker crashes."""
+
+
+@dataclass
+class _Dispatch:
+    """One request waiting for (re)dispatch to a worker."""
+
+    request_id: int
+    expression: str
+    operands: dict[str, Any]
+    submitted_at: float
+    attempt: int = 0
+    exclude_worker: int | None = None
+
+
+@dataclass
+class _Inflight:
+    """Parent-side record of a request currently owned by a worker."""
+
+    dispatch: _Dispatch
+    incarnation: int
+
+
+@dataclass
+class _WorkerHandle:
+    """Everything the parent holds about one worker incarnation.
+
+    Each incarnation owns its *own* response queue (and collector
+    thread): a ``multiprocessing.Queue`` write lock is a plain semaphore,
+    so a worker SIGKILLed mid-write would leave a *shared* queue's lock
+    held forever and silently poison every other writer.  Per-incarnation
+    queues die with their worker instead.
+    """
+
+    worker_id: int
+    incarnation: int
+    process: Any
+    request_q: Any
+    response_q: Any
+    req_ring: ShmRing
+    resp_ring: ShmRing
+    encoder: OperandEncoder
+    started_at: float
+    collector: Any = None
+    #: Set (under the server's state condition) the moment a restart
+    #: decides to replace this incarnation — before the in-flight
+    #: snapshot — so a concurrent dispatch can never register into an
+    #: outstanding map that has already been harvested for requeue.
+    retired: bool = False
+    #: request_id -> _Inflight, guarded by the server's state condition.
+    outstanding: dict[int, _Inflight] = field(default_factory=dict)
+    #: Serializes ring reads against restart-time unlinking.
+    ring_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ClusterServer:
+    """Multi-process serving of sparse Einsum requests over shared memory.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes in the pool.
+    worker_threads:
+        Threads of each worker's inner :class:`InsumServer`.
+    backend / config / check_bounds / auto_format / tune / coalesce / coalesce_max:
+        Forwarded to every worker's inner server (see
+        :class:`~repro.runtime.server.InsumServer`).
+    ring_capacity:
+        Bytes per shared-memory ring (one request + one response ring
+        per worker).
+    max_inflight / admission / block_timeout:
+        Admission control: the in-flight bound and the over-limit policy
+        (``"block"`` or ``"reject"`` — see
+        :class:`~repro.cluster.admission.AdmissionController`).
+    max_attempts:
+        Dispatch attempts per request across worker crashes before the
+        request completes with a :class:`WorkerCrashedError`.
+    health_interval / heartbeat_timeout:
+        Monitor cadence and the heartbeat staleness (seconds) beyond
+        which a live-but-silent worker is declared wedged and replaced.
+        ``heartbeat_timeout=None`` disables the staleness check (process
+        death still triggers a restart).
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (workers inherit warm module state), else ``"spawn"``.
+    batch_window:
+        Largest envelope batch a worker drains per inner-server round —
+        the coalescing opportunity window.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        worker_threads: int = 2,
+        backend: str = "inductor",
+        config: Any | None = None,
+        check_bounds: bool = True,
+        auto_format: bool = False,
+        tune: str = "auto",
+        coalesce: bool = True,
+        coalesce_max: int = 16,
+        ring_capacity: int = RING_CAPACITY,
+        max_inflight: int = 1024,
+        admission: str = "block",
+        block_timeout: float = 30.0,
+        max_attempts: int = 3,
+        health_interval: float = 0.25,
+        heartbeat_timeout: float | None = 30.0,
+        start_method: str | None = None,
+        batch_window: int = 32,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.num_workers = int(num_workers)
+        self.ring_capacity = int(ring_capacity)
+        self.max_attempts = int(max_attempts)
+        self.health_interval = float(health_interval)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.batch_window = int(batch_window)
+        self._server_kwargs = dict(
+            num_workers=worker_threads,
+            backend=backend,
+            config=config,
+            check_bounds=check_bounds,
+            auto_format=auto_format,
+            tune=tune,
+            coalesce=coalesce,
+            coalesce_max=coalesce_max,
+        )
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._forked = start_method == "fork"
+        self._session = f"{os.getpid():x}{secrets.token_hex(3)}"
+
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, policy=admission, block_timeout=block_timeout
+        )
+        self.router = Router(self.num_workers)
+
+        self._state = threading.Condition()
+        self._results: dict[int, InsumResult] = {}
+        self._pending: set[int] = set()
+        self._loads = [0] * self.num_workers
+        self._ids = itertools.count()
+        self._latencies = LatencyRecorder()
+        self._completed = 0
+        self._failed = 0
+        self._requeued = 0
+        self._restarts = 0
+        self._window_started: float | None = None
+        self._window_finished: float | None = None
+        self._stats_serial = itertools.count(1)
+        self._stats_replies: dict[int, dict[int, RuntimeStats]] = {}
+        self._stats_events: dict[int, threading.Event] = {}
+        #: worker_id -> (incarnation, RuntimeStats) snapshot at the last
+        #: reset_stats(), subtracted from worker reports.
+        self._worker_marks: dict[int, tuple[int, RuntimeStats]] = {}
+
+        self._dispatch_cv = threading.Condition()
+        self._dispatch: deque[_Dispatch] = deque()
+
+        self._closed = False
+        self._stopping = threading.Event()
+
+        self._handles: list[_WorkerHandle] = [
+            self._start_worker(worker_id, incarnation=0)
+            for worker_id in range(self.num_workers)
+        ]
+        for handle in self._handles:
+            self._start_collector(handle)
+
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="cluster-dispatch", daemon=True
+        )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        self._dispatcher.start()
+        self._monitor.start()
+
+    # -- worker lifecycle ---------------------------------------------------
+    def _segment_name(self, worker_id: int, incarnation: int, direction: str) -> str:
+        return f"rcl{self._session}w{worker_id}i{incarnation}{direction}"
+
+    def _start_worker(self, worker_id: int, incarnation: int) -> _WorkerHandle:
+        req_ring = ShmRing.create(
+            self._segment_name(worker_id, incarnation, "q"), self.ring_capacity
+        )
+        resp_ring = ShmRing.create(
+            self._segment_name(worker_id, incarnation, "r"), self.ring_capacity
+        )
+        request_q = self._ctx.Queue()
+        response_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            name=f"cluster-worker-{worker_id}",
+            args=(
+                worker_id,
+                incarnation,
+                req_ring.name,
+                resp_ring.name,
+                request_q,
+                response_q,
+                self._server_kwargs,
+                self.batch_window,
+                self._forked,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(
+            worker_id=worker_id,
+            incarnation=incarnation,
+            process=process,
+            request_q=request_q,
+            response_q=response_q,
+            req_ring=req_ring,
+            resp_ring=resp_ring,
+            encoder=OperandEncoder(req_ring),
+            started_at=time.time(),
+        )
+
+    def _start_collector(self, handle: _WorkerHandle) -> None:
+        handle.collector = threading.Thread(
+            target=self._collect_loop,
+            args=(handle,),
+            name=f"cluster-collect-{handle.worker_id}.{handle.incarnation}",
+            daemon=True,
+        )
+        handle.collector.start()
+
+    def _teardown_handle(self, handle: _WorkerHandle, join_timeout: float = 2.0) -> None:
+        """Stop one worker incarnation and reclaim its IPC resources."""
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=join_timeout)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=join_timeout)
+        with handle.ring_lock:
+            handle.req_ring.close()
+            handle.resp_ring.close()
+        for q in (handle.request_q, handle.response_q):
+            q.close()
+            q.cancel_join_thread()
+
+    def _restart_worker(self, worker_id: int) -> None:
+        """Replace a dead/wedged worker and requeue its in-flight requests."""
+        old = self._handles[worker_id]
+        with self._state:
+            old.retired = True
+            stranded = list(old.outstanding.values())
+            old.outstanding.clear()
+            self._loads[worker_id] = 0
+            self._restarts += 1
+        self.router.forget_worker(worker_id)
+        replacement = self._start_worker(worker_id, incarnation=old.incarnation + 1)
+        self._handles[worker_id] = replacement
+        self._start_collector(replacement)
+        # The old collector thread notices it is superseded and exits on
+        # its next poll; its queue died with the worker.
+        self._teardown_handle(old)
+        for inflight in stranded:
+            self._requeue(inflight.dispatch, exclude_worker=worker_id)
+
+    def _requeue(self, dispatch: _Dispatch, exclude_worker: int | None) -> None:
+        """Give a stranded request another attempt (or fail it out)."""
+        dispatch.attempt += 1
+        dispatch.exclude_worker = exclude_worker
+        if dispatch.attempt >= self.max_attempts:
+            self._record(
+                dispatch,
+                error=WorkerCrashedError(
+                    f"request {dispatch.request_id} failed after "
+                    f"{dispatch.attempt} dispatch attempts (worker crashes)"
+                ),
+            )
+            return
+        with self._state:
+            self._requeued += 1
+        with self._dispatch_cv:
+            self._dispatch.appendleft(dispatch)
+            self._dispatch_cv.notify()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, expression: str, **operands: Any) -> int:
+        """Enqueue one request and return its ticket (see :class:`InsumServer`).
+
+        Raises
+        ------
+        RuntimeError
+            If the server has been closed.
+        ClusterBusyError
+            When admission control rejects the request (the cluster is at
+            ``max_inflight`` and the policy is ``"reject"``, or the
+            ``"block"`` timeout expired); ``retry_after`` estimates when
+            to try again.
+        """
+        if self._closed:
+            raise RuntimeError("ClusterServer is closed")
+        self.admission.acquire()
+        request_id = next(self._ids)
+        now = time.perf_counter()
+        if self._window_started is None:
+            self._window_started = now
+        with self._state:
+            self._pending.add(request_id)
+        with self._dispatch_cv:
+            self._dispatch.append(
+                _Dispatch(
+                    request_id=request_id,
+                    expression=expression,
+                    operands=operands,
+                    submitted_at=now,
+                )
+            )
+            self._dispatch_cv.notify()
+        return request_id
+
+    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Enqueue ``(expression, operands)`` pairs; returns their tickets."""
+        return [self.submit(expression, **operands) for expression, operands in requests]
+
+    # -- completion ---------------------------------------------------------
+    def gather(
+        self, request_ids: Sequence[int] | None = None, timeout: float | None = None
+    ) -> list[InsumResult]:
+        """Wait for tickets (or everything in flight); same contract as
+        :meth:`InsumServer.gather <repro.runtime.server.InsumServer.gather>`."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if request_ids is None:
+            with self._state:
+                while not all(rid in self._results for rid in self._pending):
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError("cluster did not drain within the timeout")
+                    self._state.wait(remaining)
+                request_ids = sorted(self._results)
+        results: list[InsumResult] = []
+        with self._state:
+            for request_id in request_ids:
+                while request_id not in self._results:
+                    if request_id not in self._pending:
+                        raise KeyError(
+                            f"request {request_id} is not in flight (never submitted or "
+                            "already gathered)"
+                        )
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            f"request {request_id} did not complete within the timeout"
+                        )
+                    self._state.wait(remaining)
+                self._pending.discard(request_id)
+                results.append(self._results.pop(request_id))
+        return results
+
+    def run_batch(
+        self,
+        requests: Iterable[tuple[str, dict[str, Any]]],
+        timeout: float | None = None,
+    ) -> list[InsumResult]:
+        """Submit a batch and gather it, preserving order."""
+        return self.gather(self.submit_many(requests), timeout=timeout)
+
+    # -- dispatcher ---------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._dispatch_cv:
+                while not self._dispatch and not self._stopping.is_set():
+                    self._dispatch_cv.wait(0.2)
+                if self._stopping.is_set() and not self._dispatch:
+                    return
+                dispatch = self._dispatch.popleft()
+            try:
+                self._dispatch_one(dispatch)
+            except Exception:  # noqa: BLE001 — dispatch failure = another attempt
+                self._requeue(dispatch, exclude_worker=dispatch.exclude_worker)
+
+    def _dispatch_one(self, dispatch: _Dispatch) -> None:
+        key = affinity_key(dispatch.expression, dispatch.operands)
+        with self._state:
+            loads = list(self._loads)
+        worker_id = self.router.route(key, loads, exclude=dispatch.exclude_worker)
+        handle = self._handles[worker_id]
+        expected_incarnation = handle.incarnation
+
+        def aborted() -> bool:
+            return self._stopping.is_set() or handle.retired or not handle.alive()
+
+        try:
+            envelope, controls = handle.encoder.encode_request(
+                dispatch.request_id,
+                dispatch.expression,
+                dispatch.operands,
+                dispatch.attempt,
+                should_abort=aborted,
+            )
+        except (RingAborted, TimeoutError):
+            self._requeue(dispatch, exclude_worker=worker_id)
+            return
+        with self._state:
+            if handle.retired:
+                # A restart harvested this handle's outstanding map while
+                # we were encoding: the ring bytes died with the old
+                # incarnation, and registering now would strand the
+                # request.  Try again elsewhere.
+                self._requeue(dispatch, exclude_worker=worker_id)
+                return
+            handle.outstanding[dispatch.request_id] = _Inflight(
+                dispatch=dispatch, incarnation=expected_incarnation
+            )
+            self._loads[worker_id] += 1
+        try:
+            for control in controls:
+                handle.request_q.put(control)
+            handle.request_q.put(envelope)
+        except (OSError, ValueError):
+            # The queue died under us (worker torn down mid-dispatch).
+            # Requeue ONLY if the registration is still ours — a restart
+            # that already harvested handle.outstanding has requeued the
+            # request itself, and a second requeue would execute it twice.
+            with self._state:
+                owned = handle.outstanding.pop(dispatch.request_id, None)
+                if owned is not None:
+                    self._loads[worker_id] -= 1
+            if owned is not None:
+                self._requeue(dispatch, exclude_worker=worker_id)
+
+    # -- collector ----------------------------------------------------------
+    def _collect_loop(self, handle: _WorkerHandle) -> None:
+        """Drain one worker incarnation's response queue until superseded."""
+        import queue as _queue
+
+        while True:
+            try:
+                message = handle.response_q.get(timeout=0.2)
+            except (_queue.Empty, OSError, ValueError):
+                message = None
+            # By the time close() sets the stop flag it has already
+            # drained in-flight work, so exiting here drops nothing.
+            if self._stopping.is_set():
+                return
+            if message is None:
+                if self._handles[handle.worker_id] is not handle:
+                    return  # replaced by a newer incarnation
+                continue
+            if isinstance(message, tuple):
+                if message[0] == "stats_reply":
+                    self._accept_stats_reply(*message[1:])
+                continue
+            self._accept_response(message)
+
+    def _accept_stats_reply(
+        self, worker_id: int, incarnation: int, serial: int, stats: RuntimeStats
+    ) -> None:
+        with self._state:
+            replies = self._stats_replies.get(serial)
+            if replies is None or self._handles[worker_id].incarnation != incarnation:
+                return
+            replies[worker_id] = stats
+            event = self._stats_events.get(serial)
+            if event is not None and len(replies) >= self.num_workers:
+                event.set()
+
+    def _accept_response(self, response: ResponseEnvelope) -> None:
+        handle = self._handles[response.worker_id]
+        with self._state:
+            stale = (
+                handle.incarnation != response.incarnation
+                or response.request_id not in handle.outstanding
+            )
+            if stale:
+                return
+            inflight = handle.outstanding.pop(response.request_id)
+            self._loads[response.worker_id] -= 1
+        error = response.error
+        output = None
+        if error is None:
+            try:
+                with handle.ring_lock:
+                    output = decode_result(handle.resp_ring, response.result)
+                    handle.resp_ring.release(response.release_to)
+            except Exception as decode_error:  # noqa: BLE001 — surface as request error
+                error = decode_error
+        self._record(inflight.dispatch, output=output, error=error)
+
+    def _record(self, dispatch: _Dispatch, output=None, error=None) -> None:
+        """Publish one terminal result and update the serving counters."""
+        finished = time.perf_counter()
+        latency_ms = (finished - dispatch.submitted_at) * 1e3
+        result = InsumResult(
+            request_id=dispatch.request_id,
+            expression=dispatch.expression,
+            output=output,
+            error=error,
+            latency_ms=latency_ms,
+        )
+        self._latencies.record(latency_ms)
+        self.admission.release(service_seconds=latency_ms / 1e3)
+        with self._state:
+            self._results[dispatch.request_id] = result
+            if result.ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+            self._window_finished = finished
+            self._state.notify_all()
+
+    # -- health monitor -----------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval):
+            for worker_id in range(self.num_workers):
+                handle = self._handles[worker_id]
+                if self._stopping.is_set():
+                    return
+                if not handle.alive():
+                    self._restart_worker(worker_id)
+                    continue
+                if self.heartbeat_timeout is not None:
+                    last_beat = max(handle.resp_ring.heartbeat, handle.started_at)
+                    if time.time() - last_beat > self.heartbeat_timeout:
+                        self._restart_worker(worker_id)
+
+    # -- reporting ----------------------------------------------------------
+    def _collect_worker_stats(self, timeout: float = 2.0) -> dict[int, RuntimeStats]:
+        """Ask every worker for its inner-server stats (best effort)."""
+        serial = next(self._stats_serial)
+        event = threading.Event()
+        with self._state:
+            self._stats_replies[serial] = {}
+            self._stats_events[serial] = event
+        for handle in self._handles:
+            try:
+                handle.request_q.put(("stats", serial))
+            except (OSError, ValueError):
+                pass
+        event.wait(timeout)
+        with self._state:
+            self._stats_events.pop(serial, None)
+            return self._stats_replies.pop(serial, {})
+
+    def _subtract_mark(self, worker_id: int, stats: RuntimeStats) -> RuntimeStats:
+        mark = self._worker_marks.get(worker_id)
+        if mark is None or mark[0] != self._handles[worker_id].incarnation:
+            return stats
+        base = mark[1]
+        return RuntimeStats(
+            completed=stats.completed - base.completed,
+            failed=stats.failed - base.failed,
+            wall_seconds=stats.wall_seconds,
+            p50_latency_ms=stats.p50_latency_ms,
+            p95_latency_ms=stats.p95_latency_ms,
+            mean_latency_ms=stats.mean_latency_ms,
+            max_latency_ms=stats.max_latency_ms,
+            cache_hits=stats.cache_hits - base.cache_hits,
+            cache_misses=stats.cache_misses - base.cache_misses,
+            coalesced_requests=stats.coalesced_requests - base.coalesced_requests,
+            coalesced_batches=stats.coalesced_batches - base.coalesced_batches,
+        )
+
+    def stats(self, worker_timeout: float = 2.0) -> ClusterStats:
+        """Aggregated throughput/latency/cache report across the pool."""
+        per_worker_raw = self._collect_worker_stats(timeout=worker_timeout)
+        per_worker = tuple(
+            self._subtract_mark(worker_id, stats)
+            for worker_id, stats in sorted(per_worker_raw.items())
+        )
+        wall = 0.0
+        if self._window_started is not None and self._window_finished is not None:
+            wall = max(0.0, self._window_finished - self._window_started)
+        cache_delta = PlanCacheStats(
+            hits=sum(stats.cache_hits for stats in per_worker),
+            misses=sum(stats.cache_misses for stats in per_worker),
+            evictions=0,
+            size=0,
+            maxsize=0,
+        )
+        with self._state:
+            completed, failed = self._completed, self._failed
+            requeued, restarts = self._requeued, self._restarts
+        aggregate = build_stats(
+            completed,
+            failed,
+            wall,
+            self._latencies,
+            cache_delta,
+            coalesced_requests=sum(stats.coalesced_requests for stats in per_worker),
+            coalesced_batches=sum(stats.coalesced_batches for stats in per_worker),
+        )
+        return ClusterStats(
+            aggregate=aggregate,
+            per_worker=per_worker,
+            workers=self.num_workers,
+            rejected=self.admission.rejected,
+            requeued=requeued,
+            restarts=restarts,
+        )
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (parent counters + worker marks)."""
+        marks = self._collect_worker_stats()
+        with self._state:
+            self._completed = 0
+            self._failed = 0
+            self._requeued = 0
+            self._restarts = 0
+            self._window_started = None
+            self._window_finished = None
+            for worker_id, stats in marks.items():
+                self._worker_marks[worker_id] = (
+                    self._handles[worker_id].incarnation,
+                    stats,
+                )
+        self._latencies.reset()
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PID of each live worker process (index = worker id)."""
+        return [handle.process.pid for handle in self._handles]
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of every live shared-memory segment the cluster owns."""
+        names = []
+        for handle in self._handles:
+            names.extend([handle.req_ring.name, handle.resp_ring.name])
+        return names
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain in-flight work, stop the workers, and free every segment.
+
+        Safe to call twice.  ``timeout`` bounds the drain; work still in
+        flight afterwards is abandoned (its workers are terminated).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state:
+            while not all(rid in self._results for rid in self._pending):
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._state.wait(remaining if remaining is not None else 0.5)
+        self._stopping.set()
+        with self._dispatch_cv:
+            self._dispatch_cv.notify_all()
+        for handle in self._handles:
+            try:
+                handle.request_q.put(("stop",))
+                # Wake the collector immediately instead of letting it
+                # sleep out its poll interval.
+                handle.response_q.put(("wake",))
+            except (OSError, ValueError):
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+        self._dispatcher.join(timeout=5.0)
+        self._monitor.join(timeout=5.0)
+        for handle in self._handles:
+            if handle.collector is not None:
+                handle.collector.join(timeout=5.0)
+        for handle in self._handles:
+            self._teardown_handle(handle)
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

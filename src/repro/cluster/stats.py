@@ -1,0 +1,67 @@
+"""ClusterStats: the multi-process tier's aggregated serving report.
+
+The parent process owns the request lifecycle, so throughput, latency
+percentiles, and failure counts aggregate exactly from its own samples.
+Worker-interior counters — plan-cache hits and coalescing — live in the
+workers and are collected over the control channel; they are summed
+across the pool (a percentile cannot be merged from per-worker
+percentiles, which is why latency is measured parent-side in the first
+place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.stats import RuntimeStats
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """One immutable report over a :class:`ClusterServer` window.
+
+    ``aggregate`` is a pool-wide :class:`~repro.runtime.stats.RuntimeStats`
+    (end-to-end latencies measured at the parent, cache/coalesce counters
+    summed over workers); ``per_worker`` holds each live worker's own
+    report for drill-down.  The cluster-only counters cover the failure
+    and backpressure machinery: submissions rejected by admission
+    control, requests requeued after a worker crash, and worker restarts
+    performed by the health monitor.
+    """
+
+    aggregate: RuntimeStats
+    per_worker: tuple[RuntimeStats, ...]
+    workers: int
+    rejected: int
+    requeued: int
+    restarts: int
+
+    @property
+    def throughput_rps(self) -> float:
+        """Pool-wide completed requests per second (from ``aggregate``)."""
+        return self.aggregate.throughput_rps
+
+    @property
+    def p50_latency_ms(self) -> float:
+        """End-to-end p50 latency across the pool."""
+        return self.aggregate.p50_latency_ms
+
+    @property
+    def p95_latency_ms(self) -> float:
+        """End-to-end p95 latency across the pool."""
+        return self.aggregate.p95_latency_ms
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (pool, failure model, workers)."""
+        lines = [
+            self.aggregate.summary(),
+            f"cluster    : {self.workers} workers, {self.rejected} rejected, "
+            f"{self.requeued} requeued, {self.restarts} restarts",
+        ]
+        for index, stats in enumerate(self.per_worker):
+            lines.append(
+                f"  worker {index}: {stats.completed} completed, "
+                f"{stats.cache_hits} cache hits, "
+                f"{stats.coalesced_requests} coalesced"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""The worker process: one :class:`InsumServer` behind a ring pair.
+
+Each worker is a full serving stack in its own interpreter — engine
+specialization, plan cache, and same-plan coalescing intact — fed by a
+request queue of envelopes and a request ring of operand bytes, and
+reporting through its own response queue and response ring.  (Queues are
+strictly per-worker-incarnation: a shared queue's write lock is a plain
+semaphore that a SIGKILLed writer would leave held forever, stalling
+every surviving writer — the parent's crash tests exercise exactly that.)
+
+The loop deliberately *batches*: after blocking on the first envelope it
+drains whatever else has queued (up to ``batch_window``) and submits the
+whole batch to the inner server before gathering, so the inner server's
+coalescer sees the same opportunity window it would see in-process.
+
+The serve loop itself stamps the response ring's heartbeat header — once
+per queue poll and once per response — so the stamp measures *progress*,
+not mere process existence (a dedicated beater thread would keep beating
+while the loop sat wedged, making the parent's staleness check
+worthless).  The parent's health monitor combines the stamp with
+``Process.is_alive()`` to distinguish "busy" from "gone"; its
+``heartbeat_timeout`` must therefore exceed the longest legitimate
+single batch.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Any
+
+from repro.cluster.codec import OperandDecoder, encode_result, portable_error
+from repro.cluster.messages import RequestEnvelope, ResponseEnvelope
+from repro.cluster.shm import ShmRing
+
+
+def _reinit_after_fork() -> None:
+    """Re-arm global locks that may have been held at fork time.
+
+    A ``fork()`` copies every module-level lock in whatever state some
+    *other* parent thread held it, and that thread does not exist in the
+    child — a lock caught locked stays locked forever.  The worker
+    therefore replaces the process-wide locks of the engine and runtime
+    caches with fresh ones (and clears the identity-keyed caches, whose
+    bookkeeping could have been mid-mutation) before touching them.
+    """
+    import repro.engine.fingerprint as fingerprint
+    import repro.engine.flags as flags
+    import repro.engine.paths as paths
+    import repro.runtime.plan_cache as plan_cache
+    import repro.tuner.calibration as calibration
+
+    fingerprint._LOCK = threading.RLock()
+    fingerprint._TOKENS.clear()
+    fingerprint._ARTIFACTS.clear()
+    paths._LOCK = threading.Lock()
+    flags._LOCK = threading.Lock()
+    calibration._CALIBRATION_LOCK = threading.Lock()
+    plan_cache._GLOBAL_LOCK = threading.Lock()
+    plan_cache._GLOBAL_CACHE._lock = threading.RLock()
+
+
+def _serve_batch(
+    batch: list[RequestEnvelope],
+    decoder: OperandDecoder,
+    server: Any,
+    resp_ring: ShmRing,
+    response_q,
+    worker_id: int,
+    incarnation: int,
+    should_abort,
+) -> None:
+    """Decode, execute (as one inner-server batch), and answer ``batch``."""
+    tickets: list[tuple[RequestEnvelope, int]] = []
+    for envelope in batch:
+        try:
+            operands = decoder.decode(envelope)
+            ticket = server.submit(envelope.expression, **operands)
+        except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
+            response_q.put(
+                ResponseEnvelope(
+                    request_id=envelope.request_id,
+                    worker_id=worker_id,
+                    incarnation=incarnation,
+                    error=portable_error(error),
+                )
+            )
+            continue
+        tickets.append((envelope, ticket))
+    if not tickets:
+        return
+    results = server.gather([ticket for _, ticket in tickets])
+    for (envelope, _), result in zip(tickets, results):
+        response = ResponseEnvelope(
+            request_id=envelope.request_id,
+            worker_id=worker_id,
+            incarnation=incarnation,
+        )
+        try:
+            if result.ok:
+                response.result, response.release_to = encode_result(
+                    resp_ring, result.output, should_abort=should_abort
+                )
+            else:
+                response.error = portable_error(result.error)
+        except Exception as error:  # noqa: BLE001 — report, never crash the loop
+            response.result = None
+            response.error = portable_error(error)
+        response_q.put(response)
+        resp_ring.beat()
+
+
+def worker_main(
+    worker_id: int,
+    incarnation: int,
+    req_ring_name: str,
+    resp_ring_name: str,
+    request_q,
+    response_q,
+    server_kwargs: dict,
+    batch_window: int,
+    forked: bool,
+) -> None:
+    """Entry point of one worker process (module-level for spawn support)."""
+    if forked:
+        _reinit_after_fork()
+    # Import here, after the fork guard: building the server touches the
+    # caches whose locks _reinit_after_fork just re-armed.
+    from repro.runtime.server import InsumServer
+
+    parent_pid = os.getppid()
+
+    def parent_gone() -> bool:
+        return os.getppid() != parent_pid
+
+    req_ring = ShmRing.attach(req_ring_name)
+    resp_ring = ShmRing.attach(resp_ring_name)
+    resp_ring.beat()
+
+    decoder = OperandDecoder(req_ring)
+    server = InsumServer(**server_kwargs)
+    try:
+        running = True
+        while running and not parent_gone():
+            resp_ring.beat()
+            try:
+                message = request_q.get(timeout=1.0)
+            except queue.Empty:
+                continue
+            batch: list[RequestEnvelope] = []
+            while True:
+                if isinstance(message, tuple):
+                    kind = message[0]
+                    if kind == "pattern":
+                        decoder.store_pattern(message[1], message[2])
+                    elif kind == "stats":
+                        response_q.put(
+                            ("stats_reply", worker_id, incarnation, message[1], server.stats())
+                        )
+                    elif kind == "stop":
+                        running = False
+                        break
+                else:
+                    batch.append(message)
+                    if len(batch) >= batch_window:
+                        break
+                try:
+                    message = request_q.get_nowait()
+                except queue.Empty:
+                    break
+            _serve_batch(
+                batch,
+                decoder,
+                server,
+                resp_ring,
+                response_q,
+                worker_id,
+                incarnation,
+                parent_gone,
+            )
+    finally:
+        server.close()
+        req_ring.close()
+        resp_ring.close()

@@ -27,7 +27,6 @@ from repro.core.einsum.ast import (
     EinsumStatement,
     IndexExpr,
     IndexVar,
-    IntLiteral,
     Product,
     TensorAccess,
 )

@@ -20,7 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.einsum.ast import EinsumStatement, IndexVar, TensorAccess
+from repro.core.einsum.ast import EinsumStatement, IndexVar
 from repro.core.einsum.parser import parse_einsum
 from repro.core.einsum.rewriting import rewrite_sparse_operand
 from repro.core.einsum.validation import validate

@@ -126,7 +126,10 @@ def generate_triton_source(kernel: KernelSource) -> str:
         )
         indent = "        "
         if kernel.lazy_broadcasting:
-            emit(f"{indent}{red_var} = {red_var}_offset + {red_var}_base  # ({_block_name(red_var)},)")
+            emit(
+                f"{indent}{red_var} = {red_var}_offset + {red_var}_base"
+                f"  # ({_block_name(red_var)},)"
+            )
         else:
             emit(f"{indent}{red_var} = {red_var}_offset + {red_var}")
 

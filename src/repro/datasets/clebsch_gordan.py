@@ -84,25 +84,26 @@ def clebsch_gordan(j1: int, m1: int, j2: int, m2: int, j3: int, m3: int) -> floa
 # ---------------------------------------------------------------------------
 # Change of basis to real spherical harmonics
 # ---------------------------------------------------------------------------
-def _real_basis_matrix(l: int) -> np.ndarray:
-    """Unitary matrix mapping complex to real spherical harmonics of degree l.
+def _real_basis_matrix(degree: int) -> np.ndarray:
+    """Unitary matrix mapping complex to real spherical harmonics of a degree.
 
-    Rows are indexed by the real harmonic index (m = -l..l ordered), columns
-    by the complex harmonic m.  Uses the standard Condon–Shortley
-    convention, matching e3nn's real basis up to per-l global phase.
+    Rows are indexed by the real harmonic index (m = -degree..degree
+    ordered), columns by the complex harmonic m.  Uses the standard
+    Condon–Shortley convention, matching e3nn's real basis up to a global
+    per-degree phase.
     """
-    dim = 2 * l + 1
+    dim = 2 * degree + 1
     matrix = np.zeros((dim, dim), dtype=np.complex128)
-    for m in range(-l, l + 1):
-        row = m + l
+    for m in range(-degree, degree + 1):
+        row = m + degree
         if m < 0:
-            matrix[row, m + l] = 1j / sqrt(2)
-            matrix[row, -m + l] = -1j * (-1) ** m / sqrt(2)
+            matrix[row, m + degree] = 1j / sqrt(2)
+            matrix[row, -m + degree] = -1j * (-1) ** m / sqrt(2)
         elif m == 0:
-            matrix[row, l] = 1.0
+            matrix[row, degree] = 1.0
         else:
-            matrix[row, -m + l] = 1 / sqrt(2)
-            matrix[row, m + l] = (-1) ** m / sqrt(2)
+            matrix[row, -m + degree] = 1 / sqrt(2)
+            matrix[row, m + degree] = (-1) ** m / sqrt(2)
     return matrix
 
 
@@ -177,17 +178,17 @@ class CGTensor:
 
     def slot_dimension(self) -> int:
         """Total number of spherical-harmonic slots per side, sum of (2l+1)."""
-        return sum(2 * l + 1 for l in range(self.l_max + 1))
+        return sum(2 * degree + 1 for degree in range(self.l_max + 1))
 
     def to_coo_arrays(self, name: str = "CG") -> dict[str, np.ndarray]:
         """COO arrays named as in the paper: CGI, CGJ, CGK, CGL, CGV."""
-        i, j, k, l = np.nonzero(self.dense)
+        i, j, k, path = np.nonzero(self.dense)
         return {
             f"{name}I": i.astype(np.int64),
             f"{name}J": j.astype(np.int64),
             f"{name}K": k.astype(np.int64),
-            f"{name}L": l.astype(np.int64),
-            f"{name}V": self.dense[i, j, k, l].astype(np.float64),
+            f"{name}L": path.astype(np.int64),
+            f"{name}V": self.dense[i, j, k, path].astype(np.float64),
         }
 
 
@@ -197,9 +198,9 @@ def fully_connected_cg_tensor(l_max: int) -> CGTensor:
         raise ShapeError(f"l_max must be non-negative, got {l_max}")
     slot_offset = {}
     offset = 0
-    for l in range(l_max + 1):
-        slot_offset[l] = offset
-        offset += 2 * l + 1
+    for degree in range(l_max + 1):
+        slot_offset[degree] = offset
+        offset += 2 * degree + 1
     total_slots = offset
 
     paths = [

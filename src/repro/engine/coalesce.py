@@ -30,7 +30,7 @@ The helpers here are value-free plumbing used by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

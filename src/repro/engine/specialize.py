@@ -66,7 +66,9 @@ class SpecializedKernel:
 
     # -- construction -------------------------------------------------------
     @classmethod
-    def build(cls, plan: InsumPlan, chunk_size: int, single_shot_budget: int) -> "SpecializedKernel":
+    def build(
+        cls, plan: InsumPlan, chunk_size: int, single_shot_budget: int
+    ) -> "SpecializedKernel":
         """Specialize a plan: fix the chunk schedule and einsum structure.
 
         Parameters

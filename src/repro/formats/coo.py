@@ -32,7 +32,9 @@ class COO(SparseFormat):
     ):
         self._shape = tuple(int(d) for d in shape)
         self.values = as_value_array(values, name="COO values")
-        self.coords = tuple(as_index_array(c, name=f"COO coords[{i}]") for i, c in enumerate(coords))
+        self.coords = tuple(
+            as_index_array(c, name=f"COO coords[{i}]") for i, c in enumerate(coords)
+        )
         if self.values.ndim != 1:
             raise ShapeError(f"COO values must be 1-D, got shape {self.values.shape}")
         if len(self.coords) != len(self._shape):

@@ -56,7 +56,8 @@ class ELL(SparseFormat):
         n_rows, _ = dense.shape
         occupancy = np.count_nonzero(dense, axis=1)
         width = int(occupancy.max()) if n_rows else 0
-        values = np.zeros((n_rows, width), dtype=dense.dtype if dense.dtype.kind == "f" else np.float64)
+        value_dtype = dense.dtype if dense.dtype.kind == "f" else np.float64
+        values = np.zeros((n_rows, width), dtype=value_dtype)
         columns = np.zeros((n_rows, width), dtype=np.int64)
         for row in range(n_rows):
             cols = np.nonzero(dense[row])[0]

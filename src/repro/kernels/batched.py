@@ -16,7 +16,6 @@ from repro.core.inductor import InductorConfig
 from repro.core.insum import SparseEinsum
 from repro.errors import ShapeError
 from repro.formats import GroupCOO
-from repro.formats.base import SparseFormat
 from repro.kernels.equivariant import FullyConnectedTensorProduct
 from repro.runtime.stacked import StackedSparse
 

@@ -50,8 +50,10 @@ class FullyConnectedTensorProduct:
         """Group the COO entries of the CG tensor by their path index (CGL)."""
         coo = self.cg.to_coo_arrays("CG")
         order = np.argsort(coo["CGL"], kind="stable")
-        i, j, k, l, v = (coo[key][order] for key in ("CGI", "CGJ", "CGK", "CGL", "CGV"))
-        occupancy = np.bincount(l, minlength=self.cg.num_paths)
+        i, j, k, path_ids, v = (
+            coo[key][order] for key in ("CGI", "CGJ", "CGK", "CGL", "CGV")
+        )
+        occupancy = np.bincount(path_ids, minlength=self.cg.num_paths)
         if group_size is None:
             group_size = select_group_size(occupancy)
         group_size = max(1, int(group_size))

@@ -113,7 +113,9 @@ class SparseConv3d:
             contribution = gathered @ self.weight[offset_index]
             # Segment-sum scatter; the per-offset scatter plan (sort order
             # and segment boundaries) is memoized on the pairs array.
-            plan = derived(pairs, "spconv-out-scatter", lambda pairs=pairs: plan_scatter(pairs[:, 0]))
+            plan = derived(
+                pairs, "spconv-out-scatter", lambda pairs=pairs: plan_scatter(pairs[:, 0])
+            )
             segment_add(output, pairs[:, 0], contribution, plan=plan)
         return output
 

@@ -317,11 +317,13 @@ class InsumServer:
         return results
 
     def run_batch(
-        self, requests: Iterable[tuple[str, dict[str, Any]]]
+        self,
+        requests: Iterable[tuple[str, dict[str, Any]]],
+        timeout: float | None = None,
     ) -> list[InsumResult]:
         """Submit a batch and gather it, preserving order."""
         tickets = self.submit_many(requests)
-        return self.gather(tickets)
+        return self.gather(tickets, timeout=timeout)
 
     def _join_with_timeout(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout

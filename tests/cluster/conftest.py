@@ -1,0 +1,44 @@
+"""Shared fixtures for the cluster test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COO, GroupCOO
+from repro.kernels import FullyConnectedTensorProduct
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    """A small mixed serving workload: SpMM/SpMV traffic + equivariant.
+
+    Mirrors the throughput benchmark's shape — repeated logical
+    expressions over long-lived sparse patterns with fresh dense values
+    (the coalescing sweet spot), plus a raw indirect Einsum every 8th
+    request — at test-suite size.
+    """
+    rng = np.random.default_rng(7)
+    spmm = GroupCOO.from_dense(
+        np.where(rng.random((64, 96)) < 0.08, rng.standard_normal((64, 96)), 0.0),
+        group_size=4,
+    )
+    spmv = COO.from_dense(
+        np.where(rng.random((48, 48)) < 0.1, rng.standard_normal((48, 48)), 0.0)
+    )
+    equivariant = FullyConnectedTensorProduct(l_max=1, channels=4)
+    x, y, w = equivariant.random_inputs(batch=2, rng=rng)
+    z = np.zeros((2, equivariant.slot_dimension, equivariant.channels))
+    recipes = [
+        ("C[m,n] += A[m,k] * B[k,n]", lambda: dict(A=spmm, B=rng.standard_normal((96, 8)))),
+        ("y[m] += A[m,k] * x[k]", lambda: dict(A=spmv, x=rng.standard_normal(48))),
+        (
+            equivariant.expression,
+            lambda: dict(Z=z.copy(), X=x, Y=y, W=w, **equivariant._grouped),
+        ),
+    ]
+    pattern = [0, 0, 1, 0, 0, 1, 0, 2]
+    return [
+        (recipes[pattern[i % len(pattern)]][0], recipes[pattern[i % len(pattern)]][1]())
+        for i in range(48)
+    ]

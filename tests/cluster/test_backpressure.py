@@ -1,0 +1,79 @@
+"""Admission control: bounded in-flight work with explicit backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterBusyError, ClusterServer
+from repro.cluster.admission import AdmissionController
+from repro.formats import COO
+
+
+@pytest.fixture
+def heavy_request():
+    """One reasonably expensive SpMM request (compile + a real contraction)."""
+    rng = np.random.default_rng(21)
+    dense = np.where(rng.random((256, 256)) < 0.05, rng.standard_normal((256, 256)), 0.0)
+    fmt = COO.from_dense(dense)
+    return lambda: (
+        "C[m,n] += A[m,k] * B[k,n]",
+        dict(A=fmt, B=rng.standard_normal((256, 32))),
+    )
+
+
+def test_reject_policy_sheds_load_with_retry_after(heavy_request):
+    """Over-limit submissions fail fast and carry a retry_after estimate."""
+    with ClusterServer(
+        num_workers=1, worker_threads=1, max_inflight=2, admission="reject"
+    ) as cluster:
+        tickets: list[int] = []
+        rejections: list[ClusterBusyError] = []
+        for _ in range(12):
+            expression, operands = heavy_request()
+            try:
+                tickets.append(cluster.submit(expression, **operands))
+            except ClusterBusyError as error:
+                rejections.append(error)
+        assert rejections, "submitting 12 requests over a bound of 2 must shed load"
+        for error in rejections:
+            assert error.retry_after > 0
+            assert error.limit == 2
+        # Everything that *was* admitted completes normally.
+        results = cluster.gather(tickets, timeout=120)
+        assert all(result.ok for result in results)
+        assert cluster.stats().rejected == len(rejections)
+
+
+def test_block_policy_applies_backpressure_not_errors(heavy_request):
+    """The default policy makes submit() wait instead of failing."""
+    with ClusterServer(
+        num_workers=1, worker_threads=1, max_inflight=2, admission="block"
+    ) as cluster:
+        requests = [heavy_request() for _ in range(8)]
+        tickets = cluster.submit_many(requests)  # blocks as needed, never raises
+        results = cluster.gather(tickets, timeout=120)
+        assert all(result.ok for result in results)
+        assert cluster.stats().rejected == 0
+        assert cluster.admission.inflight == 0
+
+
+def test_admission_controller_unit():
+    """The gate's counting, rejection, and release bookkeeping."""
+    gate = AdmissionController(max_inflight=2, policy="reject")
+    gate.acquire()
+    gate.acquire()
+    with pytest.raises(ClusterBusyError) as excinfo:
+        gate.acquire()
+    assert excinfo.value.retry_after > 0
+    assert gate.rejected == 1
+    gate.release(service_seconds=0.05)
+    gate.acquire()  # capacity freed
+    assert gate.inflight == 2
+    gate.release()
+    gate.release()
+    assert gate.inflight == 0
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(policy="drop")

@@ -1,0 +1,105 @@
+"""Worker-crash handling: health checks, restart, and in-flight requeue."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import ClusterServer
+from repro.cluster.server import WorkerCrashedError, _Dispatch
+from repro.formats import COO
+
+
+@pytest.fixture
+def pattern():
+    rng = np.random.default_rng(11)
+    dense = np.where(rng.random((96, 128)) < 0.08, rng.standard_normal((96, 128)), 0.0)
+    return dense, COO.from_dense(dense)
+
+
+def test_crash_restart_and_requeue(pattern):
+    """SIGKILL mid-flight: every request still completes, on a new worker."""
+    dense, fmt = pattern
+    rng = np.random.default_rng(12)
+    with ClusterServer(num_workers=2, worker_threads=1, health_interval=0.05) as cluster:
+        # Warm the route so the kill target is the worker owning the key.
+        warm = cluster.run_batch(
+            [("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((128, 8))))],
+            timeout=180,
+        )
+        assert warm[0].ok
+        victims = list(cluster.worker_pids)
+        operand_sets = [rng.standard_normal((128, 8)) for _ in range(60)]
+        tickets = cluster.submit_many(
+            ("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=operand)) for operand in operand_sets
+        )
+        os.kill(victims[0], signal.SIGKILL)
+        results = cluster.gather(tickets, timeout=120)
+        assert all(result.ok for result in results), [
+            result.error for result in results if not result.ok
+        ][:1]
+        for operand, result in zip(operand_sets, results):
+            np.testing.assert_allclose(result.unwrap(), dense @ operand, atol=1e-8)
+        stats = cluster.stats()
+        assert stats.restarts >= 1
+        # The killed slot is running a fresh process.
+        assert cluster.worker_pids[0] != victims[0]
+        assert all(pid is not None for pid in cluster.worker_pids)
+
+        # The pool still serves after the restart.
+        after = cluster.run_batch(
+            [("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((128, 8))))],
+            timeout=180,
+        )
+        assert after[0].ok
+
+
+def test_two_consecutive_crashes_recover(pattern):
+    """The monitor keeps replacing workers as long as crashes keep coming."""
+    _, fmt = pattern
+    rng = np.random.default_rng(13)
+    with ClusterServer(num_workers=2, worker_threads=1, health_interval=0.05) as cluster:
+        for _ in range(2):
+            pids = list(cluster.worker_pids)
+            tickets = cluster.submit_many(
+                ("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((128, 4))))
+                for _ in range(20)
+            )
+            os.kill(pids[0], signal.SIGKILL)
+            results = cluster.gather(tickets, timeout=120)
+            assert all(result.ok for result in results)
+            deadline = time.monotonic() + 30
+            while cluster.worker_pids[0] == pids[0]:
+                assert time.monotonic() < deadline, "worker was never replaced"
+                time.sleep(0.05)
+        assert cluster.stats().restarts >= 2
+
+
+def test_requeue_gives_up_after_max_attempts():
+    """A request that keeps dying completes with WorkerCrashedError."""
+    with ClusterServer(num_workers=1, worker_threads=1, max_attempts=2) as cluster:
+        ticket = cluster.submit(
+            "y[m] += A[m,k] * x[k]", y=np.zeros(2), A=np.zeros((2, 2)), x=np.zeros(2)
+        )
+        (result,) = cluster.gather([ticket], timeout=60)
+        assert result.ok  # sanity: a healthy request is fine
+        # Drive the requeue path directly: a dispatch at the attempt
+        # ceiling must produce a terminal error, not another dispatch.
+        doomed = _Dispatch(
+            request_id=10_000,
+            expression="y[m] += A[m,k] * x[k]",
+            operands={},
+            submitted_at=time.perf_counter(),
+            attempt=1,
+        )
+        cluster.admission.acquire()
+        with cluster._state:
+            cluster._pending.add(doomed.request_id)
+        cluster._requeue(doomed, exclude_worker=None)
+        (lost,) = cluster.gather([doomed.request_id], timeout=30)
+        assert not lost.ok
+        assert isinstance(lost.error, WorkerCrashedError)

@@ -1,0 +1,76 @@
+"""ClusterServer result parity with the threaded InsumServer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterServer, InsumServer
+
+
+def test_mixed_workload_parity(mixed_workload):
+    """The cluster serves the mixed workload bit-for-bit compatibly.
+
+    Results may differ from the threaded server only by floating-point
+    reassociation of coalesced batches — the same tolerance the
+    in-process coalescer is held to.
+    """
+    with InsumServer(num_workers=2) as threaded:
+        expected = threaded.run_batch(mixed_workload)
+    with ClusterServer(num_workers=2, worker_threads=1) as cluster:
+        actual = cluster.run_batch(mixed_workload, timeout=180)
+        stats = cluster.stats()
+
+    assert all(result.ok for result in expected)
+    assert all(result.ok for result in actual), [
+        result.error for result in actual if not result.ok
+    ][:1]
+    for reference, result in zip(expected, actual):
+        np.testing.assert_allclose(reference.unwrap(), result.unwrap(), atol=1e-8)
+
+    # The pool-level report accounts for every request exactly once, and
+    # worker-side coalescing survived the process boundary.
+    assert stats.aggregate.completed == len(mixed_workload)
+    assert stats.aggregate.failed == 0
+    assert stats.workers == 2
+    assert stats.aggregate.coalesced_requests > 0
+    assert sum(worker.completed for worker in stats.per_worker) == len(mixed_workload)
+
+
+def test_affinity_spreads_distinct_patterns(mixed_workload):
+    """Distinct expression+pattern keys land on distinct workers."""
+    with ClusterServer(num_workers=2, worker_threads=1) as cluster:
+        results = cluster.run_batch(mixed_workload, timeout=180)
+        stats = cluster.stats()
+    assert all(result.ok for result in results)
+    busy_workers = [worker for worker in stats.per_worker if worker.completed > 0]
+    assert len(busy_workers) == 2
+
+
+def test_gather_semantics_match_insum_server(mixed_workload):
+    """Ticket-order results, consumed-on-gather, KeyError on reuse."""
+    expression, operands = mixed_workload[0]
+    with ClusterServer(num_workers=1, worker_threads=1) as cluster:
+        first = cluster.submit(expression, **operands)
+        second = cluster.submit(expression, **operands)
+        results = cluster.gather([second, first], timeout=120)
+        assert [result.request_id for result in results] == [second, first]
+        try:
+            cluster.gather([first])
+        except KeyError:
+            pass
+        else:  # pragma: no cover - fails the test
+            raise AssertionError("re-gathering a consumed ticket must raise KeyError")
+
+
+def test_bad_request_is_an_error_not_a_crash(mixed_workload):
+    """A malformed expression errors per-request; the pool keeps serving."""
+    expression, operands = mixed_workload[0]
+    with ClusterServer(num_workers=1, worker_threads=1) as cluster:
+        bad = cluster.submit("this is not an einsum", x=np.zeros(3))
+        good = cluster.submit(expression, **operands)
+        bad_result, good_result = cluster.gather([bad, good], timeout=60)
+        assert not bad_result.ok
+        assert good_result.ok
+        stats = cluster.stats()
+        assert stats.aggregate.failed == 1
+        assert stats.restarts == 0

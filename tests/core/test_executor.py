@@ -1,7 +1,6 @@
 """Tests for the fused (chunked) and unfused executors."""
 
 import numpy as np
-import pytest
 
 from repro.core.einsum import reference_execute
 from repro.core.inductor.executor import run_fused, run_unfused

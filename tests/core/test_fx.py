@@ -146,4 +146,6 @@ def test_interpreter_rejects_unknown_node_kind():
     graph = build_gather_einsum_scatter_graph()
     graph.nodes[0].op = "mystery"
     with pytest.raises(FXGraphError):
-        Interpreter(graph).run(A=np.zeros(3), B=np.zeros((4, 2)), I=np.zeros(3, int), C=np.zeros((4, 2)))
+        Interpreter(graph).run(
+            A=np.zeros(3), B=np.zeros((4, 2)), I=np.zeros(3, int), C=np.zeros((4, 2))
+        )

@@ -1,7 +1,6 @@
 """Tests for the loop-nest reference interpreter."""
 
 import numpy as np
-import pytest
 
 from repro.core.einsum import reference_execute
 from repro.formats import COO

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.einsum import parse_einsum, reference_execute, rewrite_sparse_operand
+from repro.core.einsum import reference_execute, rewrite_sparse_operand
 from repro.core.einsum.rewriting import IndexSubstitution
 from repro.errors import EinsumValidationError
 from repro.formats import COO, ELL, BlockCOO, BlockGroupCOO, GroupCOO

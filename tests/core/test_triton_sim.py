@@ -11,7 +11,14 @@ from repro.core.triton_sim import (
     estimate_total_time,
     generate_triton_source,
 )
-from repro.core.triton_sim.codegen import DotStmt, IndexLoadStmt, KernelSource, LoadStmt, MacStmt, StoreStmt
+from repro.core.triton_sim.codegen import (
+    DotStmt,
+    IndexLoadStmt,
+    KernelSource,
+    LoadStmt,
+    MacStmt,
+    StoreStmt,
+)
 from repro.errors import DeviceError
 
 
@@ -86,7 +93,14 @@ def test_breakdown_fields_positive():
     breakdown = estimate_kernel_time(make_kernel())
     assert breakdown.total_ms > 0
     as_dict = breakdown.as_dict()
-    assert set(as_dict) == {"dram_ms", "indirect_ms", "compute_ms", "atomic_ms", "overhead_ms", "total_ms"}
+    assert set(as_dict) == {
+        "dram_ms",
+        "indirect_ms",
+        "compute_ms",
+        "atomic_ms",
+        "overhead_ms",
+        "total_ms",
+    }
 
 
 def test_reshape_transpose_ops_increase_runtime():

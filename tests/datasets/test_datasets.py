@@ -63,7 +63,9 @@ def test_graph_matrix_is_scaled_down():
 def test_graph_skew_property():
     skewed = load_graph_matrix("artist", max_rows=2048).row_occupancy()
     regular = load_graph_matrix("DD", max_rows=2048).row_occupancy()
-    skew = lambda occ: occ.max() / max(occ.mean(), 1)
+    def skew(occ):
+        return occ.max() / max(occ.mean(), 1)
+
     assert skew(skewed) > skew(regular)
 
 
@@ -127,7 +129,7 @@ def test_unknown_scene_raises():
         generate_scene("basement")
 
 
-# -- Clebsch-Gordan -----------------------------------------------------------------------------------
+# -- Clebsch-Gordan ---------------------------------------------------------
 def test_wigner_3j_selection_rules():
     assert wigner_3j(1, 1, 3, 0, 0, 0) == 0.0  # triangle inequality violated
     assert wigner_3j(1, 1, 2, 1, 1, 0) == 0.0  # m1 + m2 + m3 != 0

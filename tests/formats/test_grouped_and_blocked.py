@@ -68,7 +68,9 @@ def test_blockcoo_roundtrip(block_sparse_matrix):
     np.testing.assert_allclose(fmt.to_dense(), block_sparse_matrix)
     assert fmt.grid_shape == (8, 8)
     assert fmt.num_blocks == int(
-        np.any(block_sparse_matrix.reshape(8, 8, 8, 8).transpose(0, 2, 1, 3) != 0, axis=(2, 3)).sum()
+        np.any(
+            block_sparse_matrix.reshape(8, 8, 8, 8).transpose(0, 2, 1, 3) != 0, axis=(2, 3)
+        ).sum()
     )
 
 
@@ -147,7 +149,9 @@ def test_blockgroupcoo_empty_matrix():
 
 def test_blockgroupcoo_validation():
     with pytest.raises(ShapeError):
-        BlockGroupCOO((10, 10), (3, 3), np.zeros(0, int), np.zeros((0, 2), int), np.zeros((0, 2, 3, 3)))
+        BlockGroupCOO(
+            (10, 10), (3, 3), np.zeros(0, int), np.zeros((0, 2), int), np.zeros((0, 2, 3, 3))
+        )
     with pytest.raises(FormatError):
         BlockGroupCOO.from_dense(np.zeros((16, 16)), (8, 8), group_size=0)
 

@@ -1,7 +1,6 @@
 """Tests for the structured / unstructured SpMM applications."""
 
 import numpy as np
-import pytest
 
 from repro import InductorConfig
 from repro.datasets import random_block_sparse_matrix, random_sparse_matrix

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Insum, auto_format, insum, sparse_einsum
+from repro import auto_format, insum, sparse_einsum
 from repro.core.insum.api import SparseEinsum
 from repro.datasets import random_block_sparse_matrix, random_sparse_matrix
 from repro.errors import EinsumValidationError
@@ -160,7 +160,9 @@ def test_insum_without_format_is_untouched(uniform, rng):
 
 def test_unknown_format_name_raises(uniform, rng):
     with pytest.raises(EinsumValidationError):
-        insum("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=rng.standard_normal((80, 4)), format="dense")
+        insum(
+            "C[m,n] += A[m,k] * B[k,n]", A=uniform, B=rng.standard_normal((80, 4)), format="dense"
+        )
 
 
 def test_sparse_operand_disambiguation(rng):

@@ -33,7 +33,9 @@ def test_microbenchmarks_produce_positive_constants():
 
 
 def test_calibration_json_roundtrip(tmp_path):
-    cal = Calibration(gather_ns=1.5, scatter_ns=9.0, flop_ns=0.5, block_flop_ns=0.05, overhead_us=2.0)
+    cal = Calibration(
+        gather_ns=1.5, scatter_ns=9.0, flop_ns=0.5, block_flop_ns=0.05, overhead_us=2.0
+    )
     path = tmp_path / "nested" / "calibration.json"
     cal.save(path)
     assert Calibration.load(path) == cal
@@ -44,7 +46,9 @@ def test_calibration_load_rejects_stale_and_corrupt(tmp_path):
     assert Calibration.load(path) is None  # missing
     path.write_text("{not json")
     assert Calibration.load(path) is None  # corrupt
-    cal = Calibration(gather_ns=1.0, scatter_ns=1.0, flop_ns=1.0, block_flop_ns=1.0, overhead_us=1.0)
+    cal = Calibration(
+        gather_ns=1.0, scatter_ns=1.0, flop_ns=1.0, block_flop_ns=1.0, overhead_us=1.0
+    )
     cal.save(path)
     stale = path.read_text().replace(f'"version": {CALIBRATION_VERSION}', '"version": -1')
     path.write_text(stale)
