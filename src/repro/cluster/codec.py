@@ -4,13 +4,16 @@ The cluster moves three kinds of operand through three channels:
 
 * **Dense arrays** — raw bytes through the shared-memory ring
   (descriptor ``("ring", offset, nbytes, dtype, shape)``).  Arrays the
-  parent has seen before (by identity token) are *stable* — typically
-  index/metadata tensors of raw indirect Einsums that repeat across
-  requests — and are cached worker-side: the second sighting ships with
-  ``("ring_store", ..., token)`` and every later request references it
-  as ``("cached", token)`` with zero bytes moved.  Both sides run the
-  same LRU over the same descriptor stream, so the parent's mirror of
-  the worker cache never diverges.
+  parent has seen before (by identity token *and* content checksum) are
+  *stable* — typically index/metadata tensors of raw indirect Einsums
+  that repeat across requests — and are cached worker-side: the second
+  sighting ships with ``("ring_store", ..., token)`` and every later
+  request references it as ``("cached", token)`` with zero bytes moved.
+  The checksum is what makes in-place mutation safe: a cached buffer
+  refilled with new values no longer matches, so it re-ships (and
+  refreshes the worker's entry) instead of silently serving stale
+  bytes.  Both sides run the same LRU over the same descriptor stream,
+  so the parent's mirror of the worker cache never diverges.
 * **Sparse formats** — broadcast once per fingerprint as a pickled
   control message ``("pattern", key, payload)``; every request then
   references the worker's cached instance via ``("pattern", key)``.
@@ -20,6 +23,16 @@ The cluster moves three kinds of operand through three channels:
 * **Everything else** (scalars, tiny arrays, object dtypes, oversized
   payloads) — inline-pickled in the envelope ``("inline", payload)``.
 
+Ring writes are budgeted **per request**, not just per payload: the
+worker releases an envelope's ring space only after the envelope
+arrives, so every ring-borne operand of one request is resident in the
+ring simultaneously.  A request whose operands cumulatively exceeded
+the ring's ``max_payload`` (half its capacity) could therefore block
+the dispatcher forever against a perfectly healthy worker.  Once a
+request's cumulative ring footprint would pass that bound, its
+remaining arrays fall back to inline pickling — same escape hatch as a
+single oversized payload.
+
 Encoding never fails a request: an operand that cannot be encoded at all
 becomes ``("bad", repr)`` and surfaces worker-side as a per-request
 error, with ring space still released by the envelope that carried it.
@@ -28,6 +41,7 @@ error, with ring space still released by the envelope that carried it.
 from __future__ import annotations
 
 import pickle
+import zlib
 from collections import OrderedDict
 from typing import Any, Callable
 
@@ -58,6 +72,15 @@ def _ring_payload(array: np.ndarray) -> np.ndarray | None:
     return np.ascontiguousarray(array)
 
 
+def _checksum(payload: np.ndarray) -> int:
+    """Content checksum guarding the identity caches against in-place
+    mutation.  crc32 over adler32: same C-speed, but no linear structure
+    — adler32 is two byte *sums*, which realistic metadata edits (e.g.
+    compensating increments 65521 elements apart) can leave unchanged.
+    """
+    return zlib.crc32(payload.data.cast("B"))
+
+
 class OperandEncoder:
     """Parent-side encoder for one worker incarnation.
 
@@ -70,7 +93,9 @@ class OperandEncoder:
         self.ring = ring
         self.cache_size = cache_size
         self._patterns_sent: OrderedDict[tuple, None] = OrderedDict()
-        self._cached_tokens: OrderedDict[int, None] = OrderedDict()
+        #: token -> content checksum of the bytes the worker caches.
+        self._cached_tokens: OrderedDict[int, int] = OrderedDict()
+        #: identity tokens sighted at least once (LRU set).
         self._seen_tokens: OrderedDict[int, None] = OrderedDict()
 
     # -- helpers ------------------------------------------------------------
@@ -80,26 +105,47 @@ class OperandEncoder:
         return descriptor, max(release_to, release)
 
     def _encode_array(
-        self, array: np.ndarray, should_abort, release_to: int
-    ) -> tuple[tuple, int]:
+        self, array: np.ndarray, should_abort, release_to: int, budget: int
+    ) -> tuple[tuple, int, int]:
+        """Encode one dense array; returns (descriptor, release_to, ring_bytes).
+
+        ``budget`` is the request's remaining ring allowance: a payload
+        that fits the ring but not the budget inline-pickles instead,
+        without touching the stability bookkeeping (the array is simply
+        reconsidered next time it appears under budget).
+        """
         payload = _ring_payload(array)
         if payload is None or payload.nbytes > self.ring.max_payload:
-            return ("inline", pickle.dumps(np.asarray(array))), release_to
+            return ("inline", pickle.dumps(np.asarray(array))), release_to, 0
         token = array_token(array)
-        if token in self._cached_tokens:
+        # First sighting needs no checksum: there is nothing to compare
+        # against, and fresh-per-request value tensors (new token every
+        # time) would pay a full-payload crc on the one dispatcher thread
+        # for nothing.  From the second sighting on, the checksum gates
+        # cached hits — a cached token whose content changed (buffer
+        # refilled in place) re-ships as a store, refreshing the worker's
+        # stale entry instead of silently serving old bytes.
+        stable = token in self._cached_tokens or token in self._seen_tokens
+        checksum = _checksum(payload) if stable else None
+        if checksum is not None and self._cached_tokens.get(token) == checksum:
             self._cached_tokens.move_to_end(token)
-            return ("cached", token), release_to
-        stable = token in self._seen_tokens
+            return ("cached", token), release_to, 0
         self._seen_tokens[token] = None
+        self._seen_tokens.move_to_end(token)
         while len(self._seen_tokens) > 4 * self.cache_size:
             self._seen_tokens.popitem(last=False)
+        if payload.nbytes > budget:
+            # Parent-only sighting above still counts: a later encounter
+            # with budget to spare promotes straight to the cached tier
+            # instead of this array inline-pickling forever.
+            return ("inline", pickle.dumps(np.asarray(array))), release_to, 0
         descriptor, release_to = self._write(payload, should_abort, release_to)
         if stable:
             descriptor = ("ring_store", *descriptor[1:], token)
-            self._cached_tokens[token] = None
+            self._cached_tokens[token] = checksum
             while len(self._cached_tokens) > self.cache_size:
                 self._cached_tokens.popitem(last=False)
-        return descriptor, release_to
+        return descriptor, release_to, payload.nbytes
 
     def _encode_pattern(self, fmt: SparseFormat) -> tuple[tuple, list[tuple]]:
         values = getattr(fmt, "values", None)
@@ -129,19 +175,43 @@ class OperandEncoder:
         Control messages (pattern broadcasts) must be queued *before*
         the envelope — the queue's FIFO order is what guarantees the
         worker's cache is populated when the reference arrives.
+
+        The request's ring writes are budgeted to ``ring.max_payload``
+        in total: all of them stay resident until the worker receives
+        the envelope, so an unbudgeted request bigger than the ring
+        would block the dispatcher forever.  Over-budget arrays ride
+        inline instead.
         """
         controls: list[tuple] = []
         encoded: dict[str, tuple] = {}
         release_to = 0
-        for name, value in operands.items():
+        budget = self.ring.max_payload
+        # Spend the budget on repeated arrays first: they are the ones a
+        # ring write can promote to the zero-bytes cached tier, while a
+        # fresh array pays the same whether it rides the ring now or
+        # inline-pickles this once.  Without this, one large fresh
+        # operand encoded first could starve a request's repeated
+        # metadata out of the cache on every request.  The envelope
+        # preserves this processing order, keeping the worker's cache
+        # replay aligned with the parent's mirror.
+        def repeat_first(item: tuple[str, Any]) -> int:
+            value = item[1]
+            if isinstance(value, np.ndarray) and not value.dtype.hasobject:
+                token = array_token(value)
+                if token in self._cached_tokens or token in self._seen_tokens:
+                    return 0
+            return 1
+
+        for name, value in sorted(operands.items(), key=repeat_first):
             try:
                 if isinstance(value, SparseFormat):
                     descriptor, pattern_controls = self._encode_pattern(value)
                     controls.extend(pattern_controls)
                 elif isinstance(value, np.ndarray):
-                    descriptor, release_to = self._encode_array(
-                        value, should_abort, release_to
+                    descriptor, release_to, ring_bytes = self._encode_array(
+                        value, should_abort, release_to, budget
                     )
+                    budget -= ring_bytes
                 else:
                     descriptor = ("inline", pickle.dumps(value))
             except (pickle.PicklingError, TypeError, AttributeError):

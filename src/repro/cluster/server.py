@@ -146,8 +146,20 @@ class ClusterServer:
     health_interval / heartbeat_timeout:
         Monitor cadence and the heartbeat staleness (seconds) beyond
         which a live-but-silent worker is declared wedged and replaced.
-        ``heartbeat_timeout=None`` disables the staleness check (process
-        death still triggers a restart).
+        Workers beat per queue poll and as each request in a batch
+        completes, so ``heartbeat_timeout`` must exceed the longest
+        legitimate *single request* — a slower request is mistaken for a
+        wedge, its worker killed, and after ``max_attempts`` redispatches
+        the request fails with :class:`WorkerCrashedError`.  Raise the
+        timeout (or pass ``None`` to disable the staleness check —
+        process death still triggers a restart) when serving expensive
+        kernels.
+    spill_threshold:
+        Router spill point: a sticky key whose assigned worker has this
+        many requests outstanding — while some other worker sits at half
+        that or less — is spread onto that idler worker too, so a
+        single-expression workload still uses the whole pool (see
+        :class:`~repro.cluster.router.Router`).
     start_method:
         ``multiprocessing`` start method; default ``"fork"`` where
         available (workers inherit warm module state), else ``"spawn"``.
@@ -176,6 +188,7 @@ class ClusterServer:
         heartbeat_timeout: float | None = 30.0,
         start_method: str | None = None,
         batch_window: int = 32,
+        spill_threshold: int = 8,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -208,7 +221,7 @@ class ClusterServer:
         self.admission = AdmissionController(
             max_inflight=max_inflight, policy=admission, block_timeout=block_timeout
         )
-        self.router = Router(self.num_workers)
+        self.router = Router(self.num_workers, spill_threshold=spill_threshold)
 
         self._state = threading.Condition()
         self._results: dict[int, InsumResult] = {}
@@ -358,6 +371,13 @@ class ClusterServer:
     # -- submission ---------------------------------------------------------
     def submit(self, expression: str, **operands: Any) -> int:
         """Enqueue one request and return its ticket (see :class:`InsumServer`).
+
+        Operand arrays are shipped asynchronously (and re-shipped if a
+        worker crashes), so they must not be mutated between ``submit``
+        and the ticket's ``gather``.  Reusing a buffer *across* requests
+        — refilling the same array with new values once the previous
+        result is gathered — is fine: the transport cache is
+        content-checksummed and re-ships changed bytes.
 
         Raises
         ------
@@ -552,9 +572,28 @@ class ClusterServer:
         if error is None:
             try:
                 with handle.ring_lock:
-                    output = decode_result(handle.resp_ring, response.result)
-                    handle.resp_ring.release(response.release_to)
+                    # Release even when decoding raises: the ring space is
+                    # consumed either way, and holding it would let repeated
+                    # decode failures fill the response ring and wedge the
+                    # worker's encode_result.  (release is monotonic, so
+                    # releasing a failed response is always safe.)
+                    try:
+                        output = decode_result(handle.resp_ring, response.result)
+                    finally:
+                        handle.resp_ring.release(response.release_to)
             except Exception as decode_error:  # noqa: BLE001 — surface as request error
+                with self._state:
+                    retired = handle.retired
+                if retired:
+                    # A restart won the race: between our stale-check (which
+                    # popped the inflight record, so the restart's harvest
+                    # missed it) and the ring read, the monitor retired the
+                    # handle and closed its rings.  The worker did complete
+                    # the request, but its bytes died with the segment —
+                    # give it the same another-attempt treatment as the
+                    # requests the harvest did catch.
+                    self._requeue(inflight.dispatch, exclude_worker=response.worker_id)
+                    return
                 error = decode_error
         self._record(inflight.dispatch, output=output, error=error)
 

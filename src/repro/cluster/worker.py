@@ -12,15 +12,18 @@ The loop deliberately *batches*: after blocking on the first envelope it
 drains whatever else has queued (up to ``batch_window``) and submits the
 whole batch to the inner server before gathering, so the inner server's
 coalescer sees the same opportunity window it would see in-process.
+Gathering is then per ticket: every submission is already in flight, so
+ticket-at-a-time gathers cost no parallelism, and they let the worker
+heartbeat as each request completes instead of once per batch.
 
 The serve loop itself stamps the response ring's heartbeat header — once
-per queue poll and once per response — so the stamp measures *progress*,
-not mere process existence (a dedicated beater thread would keep beating
-while the loop sat wedged, making the parent's staleness check
-worthless).  The parent's health monitor combines the stamp with
+per queue poll and once per completed request — so the stamp measures
+*progress*, not mere process existence (a dedicated beater thread would
+keep beating while the loop sat wedged, making the parent's staleness
+check worthless).  The parent's health monitor combines the stamp with
 ``Process.is_alive()`` to distinguish "busy" from "gone"; its
 ``heartbeat_timeout`` must therefore exceed the longest legitimate
-single batch.
+single *request*, independent of ``batch_window``.
 """
 
 from __future__ import annotations
@@ -90,8 +93,11 @@ def _serve_batch(
         tickets.append((envelope, ticket))
     if not tickets:
         return
-    results = server.gather([ticket for _, ticket in tickets])
-    for (envelope, _), result in zip(tickets, results):
+    # Gather per ticket, not per batch: all tickets are already in
+    # flight, and the beat after each one keeps the parent's staleness
+    # check scaled to a single request rather than batch_window of them.
+    for envelope, ticket in tickets:
+        (result,) = server.gather([ticket])
         response = ResponseEnvelope(
             request_id=envelope.request_id,
             worker_id=worker_id,

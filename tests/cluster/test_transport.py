@@ -179,6 +179,64 @@ class TestCodec:
         assert envelope.operands["B"][0] == "inline"
         np.testing.assert_array_equal(decoder.decode(envelope)["B"], big)
 
+    def test_request_ring_footprint_is_budgeted(self, ring):
+        # Regression (deadlock): every ring payload of one request stays
+        # resident until the worker receives the envelope, so a request
+        # whose operands each fit the ring but cumulatively exceed it
+        # would block the dispatcher forever.  Over-budget operands must
+        # fall back to inline instead.
+        encoder, decoder = self._pair(ring)
+        rng = np.random.default_rng(4)
+        chunk = ring.max_payload // 8 - 64  # each fits; two don't
+        operands = {name: rng.standard_normal(chunk) for name in "ABC"}
+        envelope, _ = encoder.encode_request(0, "expr", operands, 0)
+        kinds = [envelope.operands[name][0] for name in "ABC"]
+        assert kinds == ["ring", "inline", "inline"]
+        decoded = decoder.decode(envelope)
+        for name, value in operands.items():
+            np.testing.assert_array_equal(decoded[name], value)
+        assert ring.free_bytes == ring.capacity
+
+    def test_budget_does_not_starve_repeated_metadata(self, ring):
+        # Regression: a large fresh operand encoded first must not eat
+        # the whole budget on every request — the repeated metadata
+        # array would inline-pickle forever and never reach the
+        # zero-bytes cached tier the transport is built around.
+        encoder, decoder = self._pair(ring)
+        rng = np.random.default_rng(5)
+        metadata = np.arange(ring.max_payload // 8 - 64, dtype=np.int64)
+        kinds = []
+        for request_id in range(3):
+            fresh = rng.standard_normal(ring.max_payload // 8 - 64)
+            envelope, _ = encoder.encode_request(
+                request_id, "expr", {"V": fresh, "I": metadata}, 0
+            )
+            kinds.append(envelope.operands["I"][0])
+            decoded = decoder.decode(envelope)
+            np.testing.assert_array_equal(decoded["I"], metadata)
+            np.testing.assert_array_equal(decoded["V"], fresh)
+        # 1st sighting loses the budget race (inline) but is recorded;
+        # the 2nd ships + stores; the 3rd is a pure cache reference.
+        assert kinds == ["inline", "ring_store", "cached"]
+
+    def test_mutated_cached_array_reships(self, ring):
+        # Regression (stale cache): refilling the same buffer with new
+        # values per request is a common serving pattern; an identity-only
+        # cache would keep answering with the first shipment's bytes.
+        encoder, decoder = self._pair(ring)
+        buffer = np.arange(512, dtype=np.int64)
+        for request_id in range(3):  # promote to the cached tier
+            envelope, _ = encoder.encode_request(request_id, "expr", {"I": buffer}, 0)
+            decoder.decode(envelope)
+        assert envelope.operands["I"][0] == "cached"
+        buffer += 1000  # in-place mutation between requests
+        envelope, _ = encoder.encode_request(3, "expr", {"I": buffer}, 0)
+        assert envelope.operands["I"][0] == "ring_store"  # re-ships + refreshes
+        np.testing.assert_array_equal(decoder.decode(envelope)["I"], buffer)
+        envelope, _ = encoder.encode_request(4, "expr", {"I": buffer}, 0)
+        assert envelope.operands["I"][0] == "cached"  # cached again, new bytes
+        np.testing.assert_array_equal(decoder.decode(envelope)["I"], buffer)
+
     def test_result_roundtrip(self, ring):
         out = np.random.default_rng(2).standard_normal((16, 4))
         descriptor, release_to = encode_result(ring, out)
@@ -204,6 +262,42 @@ class TestRouter:
         assert router.route(key, [0, 1]) == 0
         router.forget_worker(0)
         assert router.route(key, [0, 0], exclude=0) == 1
+
+    def test_hot_key_spills_across_pool(self):
+        # Regression: a single-key workload (e.g. pure raw indirect
+        # Einsum traffic) must not pin one worker while the rest idle.
+        router = Router(3, spill_threshold=4)
+        key = ("expr", ())
+        assert router.route(key, [0, 0, 0]) == 0
+        assert router.route(key, [3, 0, 0]) == 0  # below threshold: sticky
+        assert router.route(key, [4, 0, 0]) == 1  # saturated: spills
+        # The spilled worker joins the sticky set — traffic now balances
+        # between the key's workers instead of bouncing randomly.
+        assert router.route(key, [4, 1, 0]) == 1
+        assert router.route(key, [4, 4, 0]) == 2  # spills again under load
+        # No idler worker left: stay on the least-loaded assigned one.
+        assert router.route(key, [4, 4, 4]) in (0, 1, 2)
+        assert router.route(key, [9, 4, 5]) == 1
+
+    def test_assignment_table_is_bounded(self):
+        # Affinity keys embed value-array identity, so clients that
+        # rebuild formats per request mint fresh keys forever; the
+        # sticky table must not grow with them.
+        router = Router(2, max_keys=4)
+        for i in range(32):
+            router.route((f"expr-{i}", ()), [0, 0])
+        assert len(router._assignment) == 4
+        # Eviction only forgets stickiness: the key routes again fine.
+        assert router.route(("expr-0", ()), [5, 0]) == 1
+
+    def test_spill_prefers_locality_when_pool_is_busy(self):
+        # A merely *equally* busy worker is no reason to give up cache
+        # locality: spilling requires someone at half the load or less.
+        router = Router(2, spill_threshold=4)
+        key = ("expr", ())
+        assert router.route(key, [0, 0]) == 0
+        assert router.route(key, [6, 4]) == 0  # other worker busy too
+        assert router.route(key, [6, 3]) == 1  # now meaningfully idler
 
     def test_affinity_key_distinguishes_patterns(self):
         rng = np.random.default_rng(3)
