@@ -9,16 +9,20 @@ compiler, so every PR from here on has a perf trajectory to beat:
   faithful pre-engine execution: per-call path search, per-call rewrite and
   bounds validation, ``np.add.at`` scatters, no specialized closures).
   Asserts the geometric-mean speedup is **>= 2x**.
-* **engine vs legacy, server** — ``InsumServer`` req/s on the mixed
+* **engine vs legacy, server** — threaded-session req/s on the mixed
   workload with specialization + same-plan coalescing vs the legacy server
   (no coalescing, no specialization).  Asserts **>= 3x**.
 * ``StackedSparse`` batched execution vs the per-item Python loop.
 * One-shot ``insum()`` compile saving from the process-wide plan cache.
 * **cluster vs threaded** (``--cluster``) — an open-loop load generator
-  drives the same mixed workload through the multi-process
-  :class:`~repro.cluster.server.ClusterServer` and the threaded
-  ``InsumServer``, reporting req/s and p50/p95 for both.  Skipped on
-  single-core machines, where a process pool cannot beat one GIL.
+  drives the same mixed workload through ``Session(backend="cluster")``
+  and ``Session(backend="threaded")``, reporting req/s and p50/p95 for
+  both.  Skipped on single-core machines, where a process pool cannot
+  beat one GIL.
+
+All serving measurements run through the :class:`repro.serve.Session`
+front door (futures, :class:`ServeConfig`), so the benchmark covers the
+surface production callers actually use.
 
 Every metric lands in ``benchmarks/results/BENCH_runtime.json`` (schema
 documented in ``docs/PERFORMANCE.md``).  The CI smoke job reruns a reduced
@@ -43,7 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ClusterServer, InsumServer, clear_plan_cache, get_plan_cache, insum
+from repro import ServeConfig, Session, clear_plan_cache, get_plan_cache, insum
 from repro.core.insum.api import SparseEinsum
 from repro.core.inductor.config import InductorConfig
 from repro.engine import legacy_mode
@@ -114,21 +118,31 @@ def build_workload(num_requests: int = NUM_REQUESTS, seed: int = DEFAULT_SEED) -
 # Measurements (shared by the pytest harness and the --smoke entry point)
 # ---------------------------------------------------------------------------
 def measure_server_modes(workload: list, rounds: int = 3) -> dict:
-    """Best-of-``rounds`` req/s for the engine server vs the legacy server."""
+    """Best-of-``rounds`` req/s for the engine server vs the legacy server.
+
+    Both modes serve through the ``repro.serve`` front door —
+    ``Session(backend="threaded")`` with a :class:`ServeConfig` — so the
+    benchmark exercises exactly the surface production callers use.
+    """
     modes = {}
     for label, legacy in (("engine", False), ("legacy", True)):
         clear_plan_cache()
-        config = InductorConfig(specialize=False) if legacy else None
+        config = ServeConfig(
+            workers=4,
+            compile_config=InductorConfig(specialize=False) if legacy else None,
+            coalesce=not legacy,
+        )
         scope = legacy_mode() if legacy else contextlib.nullcontext()
         with scope:
-            with InsumServer(num_workers=4, config=config, coalesce=not legacy) as server:
-                server.run_batch(workload[: max(8, len(workload) // 3)])  # warm compiles
+            with Session(backend="threaded", config=config) as session:
+                for future in session.submit_many(workload[: max(8, len(workload) // 3)]):
+                    future.result()  # warm compiles; raises on any failure
                 best = None
                 for _ in range(rounds):
-                    server.reset_stats()
-                    results = server.run_batch(workload)
-                    assert all(result.ok for result in results)
-                    stats = server.stats()
+                    session.reset_stats()
+                    for future in session.submit_many(workload):
+                        future.result()
+                    stats = session.stats()
                     if best is None or stats.throughput_rps > best.throughput_rps:
                         best = stats
         modes[label] = best
@@ -195,8 +209,8 @@ def measure_single_op_latency(repeats: int = 150, seed: int = DEFAULT_SEED) -> d
     return {"ops": ops, "geomean_speedup": round(geomean, 3)}
 
 
-def open_loop_load(server, workload: list, rate_rps: float | None = None) -> dict:
-    """Drive ``server`` with an open-loop load generator.
+def open_loop_load(session, workload: list, rate_rps: float | None = None) -> dict:
+    """Drive a :class:`Session` with an open-loop load generator.
 
     Requests are submitted at fixed inter-arrival times (``1/rate_rps``
     seconds apart; unpaced burst when ``rate_rps`` is None) regardless of
@@ -204,7 +218,7 @@ def open_loop_load(server, workload: list, rate_rps: float | None = None) -> dic
     run-and-wait exposes queueing delay when the server cannot keep up.
     Returns achieved req/s plus end-to-end latency percentiles.
     """
-    tickets = []
+    futures = []
     start = time.perf_counter()
     for index, (expression, operands) in enumerate(workload):
         if rate_rps is not None:
@@ -212,15 +226,15 @@ def open_loop_load(server, workload: list, rate_rps: float | None = None) -> dic
             delay = target - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-        tickets.append(server.submit(expression, **operands))
-    results = server.gather(tickets)
+        futures.append(session.submit(expression, **operands))
+    for future in futures:
+        future.result()  # raises on any failed request
     elapsed = time.perf_counter() - start
-    assert all(result.ok for result in results)
-    latencies = sorted(result.latency_ms for result in results)
+    latencies = sorted(future.latency_ms for future in futures)
     from repro.utils.timing import percentile
 
     return {
-        "rps": round(len(results) / elapsed, 1),
+        "rps": round(len(futures) / elapsed, 1),
         "p50_ms": round(percentile(latencies, 50.0), 4),
         "p95_ms": round(percentile(latencies, 95.0), 4),
     }
@@ -233,7 +247,7 @@ def measure_cluster_throughput(
     rounds: int = 3,
     rate_rps: float | None = None,
 ) -> dict:
-    """Open-loop req/s and latency: ClusterServer vs the threaded InsumServer.
+    """Open-loop req/s and latency: cluster session vs the threaded session.
 
     The threaded baseline gets the same total worker-thread count as the
     cluster (``num_workers * worker_threads``) so the comparison isolates
@@ -241,17 +255,21 @@ def measure_cluster_throughput(
     """
     warmup = workload[: max(8, len(workload) // 3)]
     clear_plan_cache()
-    with InsumServer(num_workers=num_workers * worker_threads) as threaded:
-        threaded.run_batch(warmup)
+    threaded_config = ServeConfig(workers=num_workers * worker_threads)
+    with Session(backend="threaded", config=threaded_config) as threaded:
+        for future in threaded.submit_many(warmup):
+            future.result()
         threaded_best = None
         for _ in range(rounds):
             measured = open_loop_load(threaded, workload, rate_rps=rate_rps)
             if threaded_best is None or measured["rps"] > threaded_best["rps"]:
                 threaded_best = measured
-    with ClusterServer(
-        num_workers=num_workers, worker_threads=worker_threads, max_inflight=4096
-    ) as cluster:
-        cluster.run_batch(warmup)
+    cluster_config = ServeConfig(
+        workers=num_workers, worker_threads=worker_threads, max_inflight=4096
+    )
+    with Session(backend="cluster", config=cluster_config) as cluster:
+        for future in cluster.submit_many(warmup):
+            future.result()
         cluster.reset_stats()  # coalesce/cache rates cover measured rounds only
         cluster_best = None
         for _ in range(rounds):
@@ -269,7 +287,7 @@ def measure_cluster_throughput(
         "threaded_p95_ms": threaded_best["p95_ms"],
         "cluster_p50_ms": cluster_best["p50_ms"],
         "cluster_p95_ms": cluster_best["p95_ms"],
-        "coalesce_rate": round(cluster_stats.aggregate.coalesce_rate, 4),
+        "coalesce_rate": round(cluster_stats.coalesce_rate, 4),
         "restarts": cluster_stats.restarts,
     }
 

@@ -6,7 +6,8 @@ Run with:  PYTHONPATH=src python examples/serving_runtime.py
 import numpy as np
 
 from repro import (
-    InsumServer,
+    ServeConfig,
+    Session,
     ShardedExecutor,
     StackedSparse,
     get_plan_cache,
@@ -56,26 +57,28 @@ def main() -> None:
         np.allclose(sharded, sequential),
     )
 
-    # --- InsumServer: async-style submit/gather over a worker pool -----------
+    # --- Session: the serving front door (futures over a worker pool) --------
+    # Session(backend="threaded") runs an InsumServer underneath; swap the
+    # backend string for "inline" or "cluster" without touching call sites.
     spmv = COO.from_dense(np.where(rng.random((64, 64)) < 0.1, 1.0, 0.0))
-    with InsumServer(num_workers=4) as server:
-        tickets = []
+    with Session(backend="threaded", config=ServeConfig(workers=4)) as session:
+        futures = []
         for i in range(60):
             if i % 2 == 0:
-                tickets.append(
-                    server.submit(
+                futures.append(
+                    session.submit(
                         "C[m,n] += A[m,k] * B[k,n]",
                         A=batch.item(i % batch.stack_size),
                         B=dense,
                     )
                 )
             else:
-                tickets.append(
-                    server.submit("y[m] += A[m,k] * x[k]", A=spmv, x=rng.standard_normal(64))
+                futures.append(
+                    session.submit("y[m] += A[m,k] * x[k]", A=spmv, x=rng.standard_normal(64))
                 )
-        results = server.gather(tickets)
-        print("all requests ok:", all(result.ok for result in results))
-        print(server.stats().summary())
+        outputs = [future.result(timeout=30) for future in futures]
+        print("all requests ok:", len(outputs) == 60)
+        print(session.stats().summary())
 
     print(get_plan_cache().stats().summary())
 

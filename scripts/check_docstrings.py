@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.tuner",
     "repro.engine",
     "repro.cluster",
+    "repro.serve",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

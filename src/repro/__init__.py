@@ -23,16 +23,23 @@ Public API highlights
 * :mod:`repro.cluster` — multi-process serving: :class:`repro.ClusterServer`
   dispatches the ``InsumServer`` surface across worker processes over
   shared-memory ring transport (see ``docs/SERVING.md``).
+* :mod:`repro.serve` — the serving front door: :class:`repro.Session`
+  with one ``submit()``-returns-:class:`repro.Future` surface over
+  inline, threaded, and cluster execution, configured by a typed
+  :class:`repro.ServeConfig` and reporting a normalized
+  :class:`repro.ServeStats` (see ``docs/API.md`` for migration from the
+  legacy ticket API).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
 paper-figure harnesses.
 """
 
-from repro.cluster import ClusterBusyError, ClusterServer, ClusterStats
+from repro.cluster import ClusterBusyError, ClusterServer, ClusterStats, WorkerCrashedError
 from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
 from repro.core.inductor import InductorConfig
 from repro.core.triton_sim import DeviceModel, RTX3090
+from repro.errors import FutureCancelledError, ServeError, SessionClosedError
 from repro.runtime import (
     InsumServer,
     PlanCache,
@@ -42,6 +49,7 @@ from repro.runtime import (
     configure_plan_cache,
     get_plan_cache,
 )
+from repro.serve import Future, ServeConfig, ServeStats, Session
 from repro.tuner import (
     CostModel,
     SparsityProfile,
@@ -49,12 +57,20 @@ from repro.tuner import (
     profile_operand,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ClusterBusyError",
     "ClusterServer",
     "ClusterStats",
+    "Future",
+    "FutureCancelledError",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "Session",
+    "SessionClosedError",
+    "WorkerCrashedError",
     "Insum",
     "SparseEinsum",
     "insum",

@@ -19,18 +19,12 @@ from __future__ import annotations
 import threading
 import time
 
+# Canonical home is the package-wide taxonomy (repro.errors); re-exported
+# here because the admission module is where the error is raised and where
+# historical callers import it from.
+from repro.errors import ClusterBusyError
 
-class ClusterBusyError(RuntimeError):
-    """The cluster is at its in-flight limit; retry after ``retry_after`` s."""
-
-    def __init__(self, inflight: int, limit: int, retry_after: float):
-        super().__init__(
-            f"cluster is at capacity ({inflight}/{limit} requests in flight); "
-            f"retry after {retry_after:.3f}s"
-        )
-        self.inflight = inflight
-        self.limit = limit
-        self.retry_after = retry_after
+__all__ = ["AdmissionController", "ClusterBusyError"]
 
 
 class AdmissionController:

@@ -3,9 +3,10 @@
 ``InsumServer`` (PR 1–3) serves every request inside one interpreter:
 its engine-specialized kernels are fast, but the Python framework around
 them — queueing, rewriting, coalescing, result bookkeeping — serializes
-on a single GIL.  ``ClusterServer`` keeps the exact same
-``submit`` / ``submit_many`` / ``gather`` surface and moves execution
-into a pool of worker *processes*, each running its own
+on a single GIL.  ``ClusterServer`` implements the exact same
+:class:`repro.serve.ExecutorBackend` protocol
+(``enqueue`` / ``try_cancel`` / ``set_result_sink`` / ``collect``) and
+moves execution into a pool of worker *processes*, each running its own
 :class:`~repro.runtime.server.InsumServer` (specialization and
 same-plan coalescing intact):
 
@@ -46,14 +47,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from repro.cluster.admission import AdmissionController
+from repro.cluster.admission import AdmissionController, ClusterBusyError
 from repro.cluster.codec import OperandEncoder, decode_result
 from repro.cluster.messages import ResponseEnvelope
 from repro.cluster.router import Router, affinity_key
 from repro.cluster.shm import RingAborted, ShmRing
 from repro.cluster.stats import ClusterStats
 from repro.cluster.worker import worker_main
-from repro.runtime.server import InsumResult
+from repro.errors import FutureCancelledError, SessionClosedError, WorkerCrashedError
+from repro.runtime.server import InsumResult, warn_legacy
 from repro.runtime.stats import RuntimeStats, build_stats
 from repro.runtime.plan_cache import PlanCacheStats
 from repro.utils.timing import LatencyRecorder
@@ -61,9 +63,7 @@ from repro.utils.timing import LatencyRecorder
 #: Default per-direction ring capacity (bytes).
 RING_CAPACITY = 8 * 1024 * 1024
 
-
-class WorkerCrashedError(RuntimeError):
-    """A request exhausted its dispatch attempts across worker crashes."""
+__all__ = ["ClusterServer", "WorkerCrashedError", "RING_CAPACITY"]
 
 
 @dataclass
@@ -226,6 +226,7 @@ class ClusterServer:
         self._state = threading.Condition()
         self._results: dict[int, InsumResult] = {}
         self._pending: set[int] = set()
+        self._result_sink: Any = None
         self._loads = [0] * self.num_workers
         self._ids = itertools.count()
         self._latencies = LatencyRecorder()
@@ -368,20 +369,20 @@ class ClusterServer:
             self._dispatch.appendleft(dispatch)
             self._dispatch_cv.notify()
 
-    # -- submission ---------------------------------------------------------
-    def submit(self, expression: str, **operands: Any) -> int:
+    # -- the ExecutorBackend protocol ---------------------------------------
+    def enqueue(self, expression: str, **operands: Any) -> int:
         """Enqueue one request and return its ticket (see :class:`InsumServer`).
 
         Operand arrays are shipped asynchronously (and re-shipped if a
-        worker crashes), so they must not be mutated between ``submit``
-        and the ticket's ``gather``.  Reusing a buffer *across* requests
+        worker crashes), so they must not be mutated between ``enqueue``
+        and the ticket's ``collect``.  Reusing a buffer *across* requests
         — refilling the same array with new values once the previous
-        result is gathered — is fine: the transport cache is
+        result is collected — is fine: the transport cache is
         content-checksummed and re-ships changed bytes.
 
         Raises
         ------
-        RuntimeError
+        SessionClosedError
             If the server has been closed.
         ClusterBusyError
             When admission control rejects the request (the cluster is at
@@ -390,7 +391,7 @@ class ClusterServer:
             to try again.
         """
         if self._closed:
-            raise RuntimeError("ClusterServer is closed")
+            raise SessionClosedError("ClusterServer is closed")
         self.admission.acquire()
         request_id = next(self._ids)
         now = time.perf_counter()
@@ -410,16 +411,99 @@ class ClusterServer:
             self._dispatch_cv.notify()
         return request_id
 
-    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
-        """Enqueue ``(expression, operands)`` pairs; returns their tickets."""
-        return [self.submit(expression, **operands) for expression, operands in requests]
+    def enqueue_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Enqueue ``(expression, operands)`` pairs; returns their tickets.
 
-    # -- completion ---------------------------------------------------------
+        A mid-iteration admission rejection does not leak in-flight work:
+        the raised :class:`~repro.errors.ClusterBusyError` carries the
+        tickets already enqueued as ``error.partial_tickets`` (in
+        submission order), so the caller can ``collect`` the partial
+        batch — or, through :meth:`repro.serve.Session.submit_many`,
+        receive per-request futures where only the rejected tail fails.
+        """
+        tickets: list[int] = []
+        for expression, operands in requests:
+            try:
+                tickets.append(self.enqueue(expression, **operands))
+            except ClusterBusyError as error:
+                error.partial_tickets = tuple(tickets)
+                raise
+        return tickets
+
+    def try_cancel(self, request_id: int) -> bool:
+        """Cancel a ticket that has not been dispatched to a worker yet.
+
+        Returns True when the request was still in the parent's dispatch
+        queue: it is withdrawn, its admission slot is released, and its
+        terminal result carries a
+        :class:`~repro.errors.FutureCancelledError` (not counted as
+        completed or failed).  Returns False once the dispatcher has
+        handed the request to a worker (or it already finished).
+        """
+        with self._dispatch_cv:
+            found: _Dispatch | None = None
+            for index, dispatch in enumerate(self._dispatch):
+                if dispatch.request_id == request_id:
+                    found = dispatch
+                    del self._dispatch[index]
+                    break
+        if found is None:
+            return False
+        self._record(
+            found,
+            error=FutureCancelledError(f"request {request_id} was cancelled before dispatch"),
+        )
+        return True
+
+    def set_result_sink(self, sink: Any) -> None:
+        """Deliver results by pushing them into ``sink`` instead of storing.
+
+        Registered by :class:`repro.serve.Session` before any traffic:
+        each terminal :class:`InsumResult` is handed to ``sink`` from a
+        collector thread, and :meth:`collect` becomes unavailable.
+        """
+        self._result_sink = sink
+
+    # -- the legacy ticket API (deprecation shims) --------------------------
+    def submit(self, expression: str, **operands: Any) -> int:
+        """Deprecated alias of :meth:`enqueue` (the legacy ticket API)."""
+        warn_legacy("ClusterServer.submit()", "Session.submit()")
+        return self.enqueue(expression, **operands)
+
+    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Deprecated alias of :meth:`enqueue_many` (the legacy ticket API)."""
+        warn_legacy("ClusterServer.submit_many()", "Session.submit_many()")
+        return self.enqueue_many(requests)
+
     def gather(
         self, request_ids: Sequence[int] | None = None, timeout: float | None = None
     ) -> list[InsumResult]:
+        """Deprecated alias of :meth:`collect` (the legacy ticket API)."""
+        warn_legacy("ClusterServer.gather()", "Future.result()")
+        return self.collect(request_ids, timeout=timeout)
+
+    def run_batch(
+        self,
+        requests: Iterable[tuple[str, dict[str, Any]]],
+        timeout: float | None = None,
+    ) -> list[InsumResult]:
+        """Enqueue a batch and collect it, preserving order.
+
+        Unlike ``submit``/``gather`` this helper exposes no tickets, so it
+        is not deprecated — but new code should still prefer
+        :meth:`repro.serve.Session.map_batches`, which streams results
+        with a bounded in-flight window.
+        """
+        return self.collect(self.enqueue_many(requests), timeout=timeout)
+
+    # -- completion ---------------------------------------------------------
+    def collect(
+        self, request_ids: Sequence[int] | None = None, timeout: float | None = None
+    ) -> list[InsumResult]:
         """Wait for tickets (or everything in flight); same contract as
-        :meth:`InsumServer.gather <repro.runtime.server.InsumServer.gather>`."""
+        :meth:`InsumServer.collect <repro.runtime.server.InsumServer.collect>`."""
+        if self._result_sink is not None:
+            raise RuntimeError("results are delivered to the registered sink, not collected")
         deadline = None if timeout is None else time.monotonic() + timeout
         if request_ids is None:
             with self._state:
@@ -447,14 +531,6 @@ class ClusterServer:
                 self._pending.discard(request_id)
                 results.append(self._results.pop(request_id))
         return results
-
-    def run_batch(
-        self,
-        requests: Iterable[tuple[str, dict[str, Any]]],
-        timeout: float | None = None,
-    ) -> list[InsumResult]:
-        """Submit a batch and gather it, preserving order."""
-        return self.gather(self.submit_many(requests), timeout=timeout)
 
     # -- dispatcher ---------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -608,16 +684,27 @@ class ClusterServer:
             error=error,
             latency_ms=latency_ms,
         )
-        self._latencies.record(latency_ms)
-        self.admission.release(service_seconds=latency_ms / 1e3)
+        cancelled = isinstance(error, FutureCancelledError)
+        if cancelled:
+            self.admission.release()
+        else:
+            self._latencies.record(latency_ms)
+            self.admission.release(service_seconds=latency_ms / 1e3)
+        sink = self._result_sink
         with self._state:
-            self._results[dispatch.request_id] = result
-            if result.ok:
-                self._completed += 1
+            if sink is None:
+                self._results[dispatch.request_id] = result
             else:
-                self._failed += 1
-            self._window_finished = finished
+                self._pending.discard(dispatch.request_id)
+            if not cancelled:
+                if result.ok:
+                    self._completed += 1
+                else:
+                    self._failed += 1
+                self._window_finished = finished
             self._state.notify_all()
+        if sink is not None:
+            sink(result)
 
     # -- health monitor -----------------------------------------------------
     def _monitor_loop(self) -> None:

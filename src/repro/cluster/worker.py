@@ -79,7 +79,7 @@ def _serve_batch(
     for envelope in batch:
         try:
             operands = decoder.decode(envelope)
-            ticket = server.submit(envelope.expression, **operands)
+            ticket = server.enqueue(envelope.expression, **operands)
         except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
             response_q.put(
                 ResponseEnvelope(
@@ -97,7 +97,7 @@ def _serve_batch(
     # flight, and the beat after each one keeps the parent's staleness
     # check scaled to a single request rather than batch_window of them.
     for envelope, ticket in tickets:
-        (result,) = server.gather([ticket])
+        (result,) = server.collect([ticket])
         response = ResponseEnvelope(
             request_id=envelope.request_id,
             worker_id=worker_id,

@@ -68,3 +68,62 @@ class AutotuneError(ReproError):
 
 class DeviceError(ReproError):
     """The simulated device rejected a kernel (e.g. tile too large)."""
+
+
+class ServeError(ReproError):
+    """Base class for serving-tier errors (Session, InsumServer, ClusterServer).
+
+    Every failure mode of the serving stack — admission rejection, worker
+    crashes, cancelled futures, closed sessions — derives from this one
+    class, so a caller holding a :class:`~repro.serve.Future` can catch
+    ``ServeError`` and know it has covered the tier-specific failures of
+    whichever backend the session runs on.
+    """
+
+
+class SessionClosedError(ServeError, RuntimeError):
+    """An operation was attempted on a closed serving session or server."""
+
+
+class FutureCancelledError(ServeError):
+    """The future was cancelled before its request was dispatched.
+
+    Raised by :meth:`repro.serve.Future.result` / ``exception`` after a
+    successful :meth:`repro.serve.Future.cancel`.
+    """
+
+
+class ClusterBusyError(ServeError, RuntimeError):
+    """The cluster is at its in-flight limit; retry after ``retry_after`` s.
+
+    Parameters
+    ----------
+    inflight / limit:
+        The in-flight count at rejection time and the configured bound.
+    retry_after:
+        Estimated seconds until capacity frees (one service interval,
+        from the cluster's recent completion rate).
+
+    Attributes
+    ----------
+    partial_tickets:
+        Tickets already enqueued by the failing ``enqueue_many`` /
+        ``submit_many`` call, in submission order — empty for a
+        single-request rejection.  The caller owns them: ``collect`` the
+        partial batch (or let the session fail their futures) instead of
+        leaking in-flight work.
+    """
+
+    def __init__(self, inflight: int, limit: int, retry_after: float):
+        super().__init__(
+            f"cluster is at capacity ({inflight}/{limit} requests in flight); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+        self.partial_tickets: tuple[int, ...] = ()
+
+
+class WorkerCrashedError(ServeError, RuntimeError):
+    """A request exhausted its dispatch attempts across worker crashes."""

@@ -1,26 +1,25 @@
-"""InsumServer: an async-style serving front door for compiled sparse Einsums.
+"""InsumServer: the threaded serving tier behind :class:`repro.serve.Session`.
 
 The compiler stack below this module is request-free: every entry point
-takes one expression and one set of operands.  ``InsumServer`` turns it
-into a small serving engine:
+takes one expression and one set of operands.  This module turns it into
+a serving engine, split into two layers:
 
-* ``submit()`` enqueues a request and returns a ticket immediately;
-  ``gather()`` blocks until the requested tickets complete.
-* A pool of worker threads drains the queue.  Each distinct
-  ``(expression, backend)`` pair gets one long-lived reusable operator
-  (:class:`SparseEinsum` for format-agnostic requests with a sparse
-  operand, :class:`Insum` for raw indirect Einsums), guarded by a
-  per-operator lock — so different expressions execute concurrently while
-  one expression's operator state stays consistent.
-* All compilation funnels through the process-wide
-  :class:`~repro.runtime.plan_cache.PlanCache`; the server reports the
-  cache's hit rate over its own serving window.
-* ``stats()`` returns a :class:`~repro.runtime.stats.RuntimeStats` with
-  throughput (requests/s) and p50/p95/mean/max latency.
+* :class:`RequestExecutor` — the per-request execution core: long-lived
+  per-expression operators (:class:`SparseEinsum` / :class:`Insum`),
+  expression classification, tuner-driven re-formatting, and optional
+  row-sharded execution.  The inline backend of :mod:`repro.serve`, the
+  threaded ``InsumServer``, and every cluster worker's inner server all
+  execute through this one code path — which is what makes results
+  bit-identical across serving backends.
+* :class:`InsumServer` — a queue and a pool of worker threads over the
+  executor, implementing the :class:`repro.serve.ExecutorBackend`
+  protocol (``enqueue`` / ``try_cancel`` / ``set_result_sink`` /
+  ``stats`` / ``close``) plus same-plan request coalescing.
 
-The server is deliberately synchronous-friendly: requests produce results
-identical to calling ``sparse_einsum`` / ``insum`` directly, because the
-workers run exactly that code path.
+The legacy ticket methods (``submit`` / ``submit_many`` / ``gather`` /
+``run_batch``) remain as thin deprecation shims over the protocol
+surface; new code should go through :class:`repro.serve.Session`, whose
+futures deliver results and worker-side errors without tickets.
 """
 
 from __future__ import annotations
@@ -29,25 +28,40 @@ import itertools
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.insum.api import Insum, SparseEinsum
+from repro.errors import FutureCancelledError, SessionClosedError
 from repro.formats.base import SparseFormat
-from repro.runtime.plan_cache import PlanCacheStats, get_plan_cache
 from repro.runtime.sharding import ShardedExecutor
-from repro.runtime.stats import RuntimeStats, build_stats
-from repro.utils.timing import LatencyRecorder
+from repro.runtime.stats import RuntimeStats, ServingWindow
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the serving tier's deprecation warning for one shimmed method.
+
+    Every shim funnels through here so the message carries a stable
+    ``legacy ticket API:`` prefix — the CI deprecation gate turns exactly
+    that prefix into an error, proving the repository itself no longer
+    calls the shimmed surface.
+    """
+    warnings.warn(
+        f"legacy ticket API: {old} is deprecated; use {new} via repro.serve.Session",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
 class InsumRequest:
     """One queued unit of work: an expression, its operands, and a ticket.
 
-    Created by :meth:`InsumServer.submit`; ``request_id`` is the ticket
-    handed back to the caller and later passed to :meth:`InsumServer.gather`.
+    Created by :meth:`InsumServer.enqueue`; ``request_id`` is the ticket
+    handed back to the caller and later passed to :meth:`InsumServer.collect`.
     ``submitted_at`` (a ``perf_counter`` timestamp) feeds the queue-delay
     and end-to-end latency statistics.
     """
@@ -88,8 +102,253 @@ class _OperatorSlot:
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
+class RequestExecutor:
+    """The per-request execution core shared by every serving backend.
+
+    Owns the long-lived reusable operators (one per distinct expression),
+    the expression-classification cache, the tuner's per-request
+    re-formatting when ``auto_format`` is on, and the optional
+    :class:`~repro.runtime.sharding.ShardedExecutor`.  ``InsumServer``
+    (threaded), the cluster workers' inner servers, and the serve tier's
+    inline backend all call :meth:`execute`, so a request produces the
+    same bits no matter which tier served it.
+
+    Parameters
+    ----------
+    backend / config / check_bounds:
+        Defaults for every operator the executor builds.
+    num_shards:
+        When > 1, requests with a shardable sparse operand run through a
+        :class:`~repro.runtime.sharding.ShardedExecutor` instead of a
+        single sequential kernel.
+    auto_format / tune:
+        Tuner integration: profile each request's sparse (or promotable
+        dense) operand and re-format it per sparsity regime (see
+        :mod:`repro.tuner`).
+    """
+
+    def __init__(
+        self,
+        backend: str = "inductor",
+        config: Any | None = None,
+        check_bounds: bool = True,
+        num_shards: int = 1,
+        auto_format: bool = False,
+        tune: str = "auto",
+    ):
+        self.backend = backend
+        self.config = config
+        self.check_bounds = check_bounds
+        self.num_shards = int(num_shards)
+        self.auto_format = bool(auto_format)
+        self.tune = tune
+        self._operators: dict[tuple[str, str], _OperatorSlot] = {}
+        self._operators_lock = threading.Lock()
+        #: expression -> (is_logical, rhs_factor_names, statement); used by
+        #: the auto_format path to recognise dense operands it may
+        #: sparsify and by coalescing to build widened statements.
+        self._expression_info: dict[str, tuple[bool, tuple[str, ...], Any]] = {}
+        #: expression -> widened (expression, stack_var), built on demand.
+        self._widened: dict[str, tuple[str, str] | None] = {}
+        # One long-lived executor (and thread pool) for all sharded
+        # requests; None when sharding is off.
+        self._sharded_executor = (
+            ShardedExecutor(
+                num_shards=self.num_shards,
+                backend=backend,
+                config=config,
+                check_bounds=check_bounds,
+                persistent_pool=True,
+            )
+            if self.num_shards > 1
+            else None
+        )
+
+    def close(self) -> None:
+        """Release the sharded executor's thread pool (if any)."""
+        if self._sharded_executor is not None:
+            self._sharded_executor.close()
+
+    def operator_for(self, expression: str, has_sparse: bool) -> _OperatorSlot:
+        """The long-lived reusable operator for one expression.
+
+        Format-agnostic requests (a sparse operand present, or the
+        executor running with ``auto_format``) get a
+        :class:`SparseEinsum`; raw indirect Einsums get an :class:`Insum`.
+        """
+        key = (expression, "sparse" if has_sparse else "indirect")
+        with self._operators_lock:
+            slot = self._operators.get(key)
+            if slot is None:
+                if has_sparse:
+                    operator: Any = SparseEinsum(
+                        expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                        format="auto" if self.auto_format else None,
+                        tune=self.tune,
+                    )
+                else:
+                    operator = Insum(
+                        expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                    )
+                slot = _OperatorSlot(operator=operator)
+                self._operators[key] = slot
+            return slot
+
+    def expression_info(self, expression: str) -> tuple[bool, tuple[str, ...], Any]:
+        """Whether an expression is purely *logical* (no indirect accesses).
+
+        Only logical expressions may have dense operands promoted to
+        sparse formats (in a raw indirect Einsum, a sparse-looking 2-D
+        array is storage, not a logical matrix) or be coalesced into
+        widened batches.  Returns ``(logical, rhs_factor_names,
+        statement)``; the statement is ``None`` when parsing failed.
+        """
+        with self._operators_lock:
+            cached = self._expression_info.get(expression)
+        if cached is not None:
+            return cached
+        from repro.core.einsum.ast import TensorAccess
+        from repro.core.einsum.parser import parse_einsum
+
+        try:
+            statement = parse_einsum(expression)
+            logical = not any(
+                isinstance(ix, TensorAccess)
+                for access in statement.all_accesses()
+                for ix in access.indices
+            )
+            rhs = tuple(f.tensor for f in statement.rhs.factors)
+        except Exception:  # noqa: BLE001 — classification must not fail a request
+            logical, rhs, statement = False, (), None
+        with self._operators_lock:
+            self._expression_info[expression] = (logical, rhs, statement)
+        return logical, rhs, statement
+
+    def execute(self, expression: str, operands: dict[str, Any]) -> np.ndarray:
+        """Execute one request exactly as a direct operator call would.
+
+        This is the single per-request code path of every serving tier:
+        classify the expression, optionally promote/re-format the sparse
+        operand through the tuner, try the sharded path, and fall through
+        to the cached per-expression operator.
+        """
+        has_instance = any(isinstance(value, SparseFormat) for value in operands.values())
+        promoted_name: str | None = None
+        if not has_instance and self.auto_format:
+            logical, rhs_names, _ = self.expression_info(expression)
+            if logical:
+                for name in rhs_names:
+                    value = operands.get(name)
+                    arr = np.asarray(value) if value is not None else None
+                    if (
+                        arr is not None
+                        and arr.ndim == 2
+                        and np.count_nonzero(arr) < 0.5 * arr.size
+                    ):
+                        promoted_name = name
+                        break
+        has_sparse = has_instance or promoted_name is not None
+        if has_sparse and self.auto_format:
+            logical, rhs_names, _ = self.expression_info(expression)
+            # Re-format the sparse (or promoted dense) operand once, here —
+            # decisions are cached per regime bucket — so the sharded path
+            # executes the tuner's chosen format and the per-expression
+            # operator's own auto pass sees a matching format and skips
+            # both the density rescan and a second conversion.  The width
+            # is inferred from the request's dense operand so the decision
+            # optimises for the actual workload, matching what
+            # SparseEinsum._infer_n_cols would derive.
+            if logical:
+                from repro.tuner.auto import auto_format as tuner_auto_format
+
+                targets = (
+                    [promoted_name]
+                    if promoted_name is not None
+                    else [
+                        name
+                        for name, value in operands.items()
+                        if isinstance(value, SparseFormat)
+                        and value.format_name != "StackedSparse"
+                    ]
+                )
+                if targets:
+                    n_cols = 64
+                    for name in rhs_names:
+                        value = operands.get(name)
+                        if name in targets or value is None or isinstance(value, SparseFormat):
+                            continue
+                        arr = np.asarray(value)
+                        if arr.ndim >= 2:
+                            n_cols = int(arr.shape[-1])
+                            break
+                    operands = dict(operands)
+                    for name in targets:
+                        operands[name] = tuner_auto_format(
+                            operands[name], n_cols=n_cols, tune=self.tune
+                        )
+        if has_sparse and self._sharded_executor is not None:
+            sharded = self._sharded_executor.try_run(expression, **operands)
+            if sharded is not None:
+                return sharded
+            # Not shardable (format without row hooks, or a single shard):
+            # fall through to the cached per-expression operator.
+        slot = self.operator_for(expression, has_sparse)
+        with slot.lock:
+            return slot.operator(**operands)
+
+    def widened_for(self, expression: str) -> tuple[str, str] | None:
+        """The widened (stacked) expression for one logical expression."""
+        with self._operators_lock:
+            if expression in self._widened:
+                return self._widened[expression]
+        from repro.engine.coalesce import widen_expression
+
+        _, _, statement = self.expression_info(expression)
+        widened: tuple[str, str] | None
+        try:
+            widened = widen_expression(statement) if statement is not None else None
+        except Exception:  # noqa: BLE001 — fall back to per-request execution
+            widened = None
+        with self._operators_lock:
+            self._widened[expression] = widened
+        return widened
+
+    def coalesced_operator_for(self, expression: str, widened_expression: str) -> _OperatorSlot:
+        """The long-lived operator executing coalesced batches of one expression."""
+        key = (expression, "coalesced")
+        with self._operators_lock:
+            slot = self._operators.get(key)
+            if slot is None:
+                slot = _OperatorSlot(
+                    operator=SparseEinsum(
+                        widened_expression,
+                        backend=self.backend,
+                        config=self.config,
+                        check_bounds=self.check_bounds,
+                    )
+                )
+                self._operators[key] = slot
+            return slot
+
+    def expressions(self) -> list[str]:
+        """Distinct expressions with a live reusable operator."""
+        with self._operators_lock:
+            return sorted({expression for expression, _ in self._operators})
+
+
 class InsumServer:
     """Batched, cached, multi-worker serving of sparse Einsum requests.
+
+    This is the *threaded* :class:`repro.serve.ExecutorBackend`: a queue
+    drained by worker threads over one shared :class:`RequestExecutor`.
+    Construct it directly for the legacy ticket surface, or (preferred)
+    through ``Session(backend="threaded")``, which wraps it in futures.
 
     Parameters
     ----------
@@ -153,42 +412,29 @@ class InsumServer:
         self.tune = tune
         self.coalesce = bool(coalesce)
         self.coalesce_max = int(coalesce_max)
+        self.executor = RequestExecutor(
+            backend=backend,
+            config=config,
+            check_bounds=check_bounds,
+            num_shards=num_shards,
+            auto_format=auto_format,
+            tune=tune,
+        )
 
         self._queue: queue.Queue[InsumRequest | None] = queue.Queue()
         self._results: dict[int, InsumResult] = {}
         self._pending: set[int] = set()
         self._done = threading.Condition()
-        self._operators: dict[tuple[str, str], _OperatorSlot] = {}
-        self._operators_lock = threading.Lock()
         self._ids = itertools.count()
-        #: expression -> (is_logical, rhs_factor_names, statement); used by
-        #: the auto_format path to recognise dense operands it may
-        #: sparsify and by coalescing to build widened statements.
-        self._expression_info: dict[str, tuple[bool, tuple[str, ...], Any]] = {}
-        #: expression -> widened (expression, stack_var), built on demand.
-        self._widened: dict[str, tuple[str, str] | None] = {}
-        self._latencies = LatencyRecorder()
-        self._completed = 0
-        self._failed = 0
+        #: Tickets cancelled before a worker claimed them (guarded by _done).
+        self._cancelled: set[int] = set()
+        #: Tickets a worker has claimed for execution (guarded by _done).
+        self._taken: set[int] = set()
+        self._result_sink: Callable[[InsumResult], None] | None = None
+        self._window = ServingWindow()
         self._coalesced_requests = 0
         self._coalesced_batches = 0
-        self._window_started: float | None = None
-        self._window_finished: float | None = None
-        self._cache_mark: PlanCacheStats = get_plan_cache().stats()
         self._closed = False
-        # One long-lived executor (and thread pool) for all sharded
-        # requests; None when sharding is off.
-        self._sharded_executor = (
-            ShardedExecutor(
-                num_shards=self.num_shards,
-                backend=backend,
-                config=config,
-                check_bounds=check_bounds,
-                persistent_pool=True,
-            )
-            if self.num_shards > 1
-            else None
-        )
 
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"insum-worker-{i}", daemon=True)
@@ -207,8 +453,7 @@ class InsumServer:
             self._queue.put(None)
         for worker in self._workers:
             worker.join()
-        if self._sharded_executor is not None:
-            self._sharded_executor.close()
+        self.executor.close()
 
     def __enter__(self) -> "InsumServer":
         return self
@@ -216,8 +461,8 @@ class InsumServer:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
-    # -- submission ---------------------------------------------------------
-    def submit(self, expression: str, **operands: Any) -> int:
+    # -- the ExecutorBackend protocol ---------------------------------------
+    def enqueue(self, expression: str, **operands: Any) -> int:
         """Enqueue one request and return immediately with a ticket.
 
         Parameters
@@ -233,43 +478,71 @@ class InsumServer:
         Returns
         -------
         int
-            A ticket identifying this request; pass it to :meth:`gather`
-            to wait for (and consume) the result.
+            A ticket identifying this request; pass it to :meth:`collect`
+            to wait for (and consume) the result — or, when a result sink
+            is registered, the id under which the sink will receive it.
 
         Raises
         ------
-        RuntimeError
+        SessionClosedError
             If the server has been closed.
         """
         if self._closed:
-            raise RuntimeError("InsumServer is closed")
+            raise SessionClosedError("InsumServer is closed")
         request = InsumRequest(
             request_id=next(self._ids),
             expression=expression,
             operands=operands,
             submitted_at=time.perf_counter(),
         )
-        if self._window_started is None:
-            self._window_started = request.submitted_at
+        self._window.open_at(request.submitted_at)
         with self._done:
             self._pending.add(request.request_id)
         self._queue.put(request)
         return request.request_id
 
-    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+    def enqueue_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
         """Enqueue ``(expression, operands)`` pairs; returns their tickets."""
-        return [self.submit(expression, **operands) for expression, operands in requests]
+        return [self.enqueue(expression, **operands) for expression, operands in requests]
+
+    def try_cancel(self, request_id: int) -> bool:
+        """Cancel a ticket no worker has claimed yet.
+
+        Returns True when the request was still queued: it will never
+        execute, and its terminal result carries a
+        :class:`~repro.errors.FutureCancelledError` (not counted as
+        completed or failed).  Returns False once a worker has taken the
+        request (or it already finished) — the result will arrive
+        normally.
+        """
+        with self._done:
+            if request_id not in self._pending or request_id in self._results:
+                return False
+            if request_id in self._taken or request_id in self._cancelled:
+                return False
+            self._cancelled.add(request_id)
+            return True
+
+    def set_result_sink(self, sink: Callable[[InsumResult], None] | None) -> None:
+        """Deliver results by pushing them into ``sink`` instead of storing.
+
+        Registered by :class:`repro.serve.Session` before any traffic:
+        each terminal :class:`InsumResult` is handed to ``sink`` from a
+        worker thread, and :meth:`collect` becomes unavailable (there is
+        nothing stored to collect).
+        """
+        self._result_sink = sink
 
     # -- completion ---------------------------------------------------------
-    def gather(
+    def collect(
         self, request_ids: Sequence[int] | None = None, timeout: float | None = None
     ) -> list[InsumResult]:
-        """Wait for the given tickets (or everything submitted) to complete.
+        """Wait for the given tickets (or everything enqueued) to complete.
 
         Parameters
         ----------
         request_ids:
-            Tickets from :meth:`submit`, in the order results should be
+            Tickets from :meth:`enqueue`, in the order results should be
             returned; ``None`` waits for the whole queue to drain and
             returns every outstanding result.
         timeout:
@@ -278,9 +551,10 @@ class InsumServer:
         Returns
         -------
         list[InsumResult]
-            One result per ticket, in ticket order.  Gathered tickets are
-            consumed: a second ``gather`` of the same id — or an id that
-            was never issued — raises ``KeyError`` instead of blocking.
+            One result per ticket, in ticket order.  Collected tickets
+            are consumed: a second ``collect`` of the same id — or an id
+            that was never issued — raises ``KeyError`` instead of
+            blocking.
 
         Raises
         ------
@@ -288,7 +562,12 @@ class InsumServer:
             For a ticket that is not in flight.
         TimeoutError
             When the deadline passes before completion.
+        RuntimeError
+            When a result sink is registered (results are pushed, not
+            stored).
         """
+        if self._result_sink is not None:
+            raise RuntimeError("results are delivered to the registered sink, not collected")
         if request_ids is None:
             if timeout is None:
                 self._queue.join()
@@ -316,14 +595,37 @@ class InsumServer:
                 results.append(self._results.pop(request_id))
         return results
 
+    # -- the legacy ticket API (deprecation shims) --------------------------
+    def submit(self, expression: str, **operands: Any) -> int:
+        """Deprecated alias of :meth:`enqueue` (the legacy ticket API)."""
+        warn_legacy("InsumServer.submit()", "Session.submit()")
+        return self.enqueue(expression, **operands)
+
+    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Deprecated alias of :meth:`enqueue_many` (the legacy ticket API)."""
+        warn_legacy("InsumServer.submit_many()", "Session.submit_many()")
+        return self.enqueue_many(requests)
+
+    def gather(
+        self, request_ids: Sequence[int] | None = None, timeout: float | None = None
+    ) -> list[InsumResult]:
+        """Deprecated alias of :meth:`collect` (the legacy ticket API)."""
+        warn_legacy("InsumServer.gather()", "Future.result()")
+        return self.collect(request_ids, timeout=timeout)
+
     def run_batch(
         self,
         requests: Iterable[tuple[str, dict[str, Any]]],
         timeout: float | None = None,
     ) -> list[InsumResult]:
-        """Submit a batch and gather it, preserving order."""
-        tickets = self.submit_many(requests)
-        return self.gather(tickets, timeout=timeout)
+        """Enqueue a batch and collect it, preserving order.
+
+        Unlike ``submit``/``gather`` this helper exposes no tickets, so it
+        is not deprecated — but new code should still prefer
+        :meth:`repro.serve.Session.map_batches`, which streams results
+        with a bounded in-flight window.
+        """
+        return self.collect(self.enqueue_many(requests), timeout=timeout)
 
     def _join_with_timeout(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
@@ -334,134 +636,8 @@ class InsumServer:
         raise TimeoutError("request queue did not drain within the timeout")
 
     # -- execution ----------------------------------------------------------
-    def _operator_for(self, expression: str, has_sparse: bool) -> _OperatorSlot:
-        """The long-lived reusable operator for one expression.
-
-        Format-agnostic requests (a sparse operand present, or the server
-        running with ``auto_format``) get a :class:`SparseEinsum`; raw
-        indirect Einsums get an :class:`Insum`.
-        """
-        key = (expression, "sparse" if has_sparse else "indirect")
-        with self._operators_lock:
-            slot = self._operators.get(key)
-            if slot is None:
-                if has_sparse:
-                    operator: Any = SparseEinsum(
-                        expression,
-                        backend=self.backend,
-                        config=self.config,
-                        check_bounds=self.check_bounds,
-                        format="auto" if self.auto_format else None,
-                        tune=self.tune,
-                    )
-                else:
-                    operator = Insum(
-                        expression,
-                        backend=self.backend,
-                        config=self.config,
-                        check_bounds=self.check_bounds,
-                    )
-                slot = _OperatorSlot(operator=operator)
-                self._operators[key] = slot
-            return slot
-
-    def _expression_info_for(self, expression: str) -> tuple[bool, tuple[str, ...], Any]:
-        """Whether an expression is purely *logical* (no indirect accesses).
-
-        Only logical expressions may have dense operands promoted to
-        sparse formats (in a raw indirect Einsum, a sparse-looking 2-D
-        array is storage, not a logical matrix) or be coalesced into
-        widened batches.  Returns ``(logical, rhs_factor_names,
-        statement)``; the statement is ``None`` when parsing failed.
-        """
-        with self._operators_lock:
-            cached = self._expression_info.get(expression)
-        if cached is not None:
-            return cached
-        from repro.core.einsum.ast import TensorAccess
-        from repro.core.einsum.parser import parse_einsum
-
-        try:
-            statement = parse_einsum(expression)
-            logical = not any(
-                isinstance(ix, TensorAccess)
-                for access in statement.all_accesses()
-                for ix in access.indices
-            )
-            rhs = tuple(f.tensor for f in statement.rhs.factors)
-        except Exception:  # noqa: BLE001 — classification must not fail a request
-            logical, rhs, statement = False, (), None
-        with self._operators_lock:
-            self._expression_info[expression] = (logical, rhs, statement)
-        return logical, rhs, statement
-
     def _execute(self, request: InsumRequest) -> np.ndarray:
-        has_instance = any(
-            isinstance(value, SparseFormat) for value in request.operands.values()
-        )
-        promoted_name: str | None = None
-        if not has_instance and self.auto_format:
-            logical, rhs_names, _ = self._expression_info_for(request.expression)
-            if logical:
-                for name in rhs_names:
-                    value = request.operands.get(name)
-                    arr = np.asarray(value) if value is not None else None
-                    if (
-                        arr is not None
-                        and arr.ndim == 2
-                        and np.count_nonzero(arr) < 0.5 * arr.size
-                    ):
-                        promoted_name = name
-                        break
-        has_sparse = has_instance or promoted_name is not None
-        operands = request.operands
-        if has_sparse and self.auto_format:
-            logical, rhs_names, _ = self._expression_info_for(request.expression)
-            # Re-format the sparse (or promoted dense) operand once, here —
-            # decisions are cached per regime bucket — so the sharded path
-            # executes the tuner's chosen format and the per-expression
-            # operator's own auto pass sees a matching format and skips
-            # both the density rescan and a second conversion.  The width
-            # is inferred from the request's dense operand so the decision
-            # optimises for the actual workload, matching what
-            # SparseEinsum._infer_n_cols would derive.
-            if logical:
-                from repro.tuner.auto import auto_format as tuner_auto_format
-
-                targets = (
-                    [promoted_name]
-                    if promoted_name is not None
-                    else [
-                        name
-                        for name, value in operands.items()
-                        if isinstance(value, SparseFormat)
-                        and value.format_name != "StackedSparse"
-                    ]
-                )
-                if targets:
-                    n_cols = 64
-                    for name in rhs_names:
-                        value = operands.get(name)
-                        if name in targets or value is None or isinstance(value, SparseFormat):
-                            continue
-                        arr = np.asarray(value)
-                        if arr.ndim >= 2:
-                            n_cols = int(arr.shape[-1])
-                            break
-                    operands = dict(operands)
-                    for name in targets:
-                        operands[name] = tuner_auto_format(
-                            operands[name], n_cols=n_cols, tune=self.tune
-                        )
-        if has_sparse and self._sharded_executor is not None:
-            sharded = self._sharded_executor.try_run(request.expression, **operands)
-            if sharded is not None:
-                return sharded
-            # Not shardable (format without row hooks, or a single shard):
-            # fall through to the cached per-expression operator.
-        slot = self._operator_for(request.expression, has_sparse)
-        with slot.lock:
-            return slot.operator(**operands)
+        return self.executor.execute(request.expression, request.operands)
 
     def _worker_loop(self) -> None:
         while True:
@@ -491,6 +667,27 @@ class InsumServer:
             for _ in batch:
                 self._queue.task_done()
 
+    def _claim(self, request: InsumRequest) -> bool:
+        """Claim one dequeued request for execution; False when cancelled."""
+        with self._done:
+            if request.request_id in self._cancelled:
+                self._cancelled.discard(request.request_id)
+                claimed = False
+            else:
+                self._taken.add(request.request_id)
+                claimed = True
+        if not claimed:
+            self._record(
+                InsumResult(
+                    request_id=request.request_id,
+                    expression=request.expression,
+                    error=FutureCancelledError(
+                        f"request {request.request_id} was cancelled before dispatch"
+                    ),
+                )
+            )
+        return claimed
+
     def _process_batch(self, batch: list[InsumRequest]) -> None:
         """Group a drained batch by coalesce key and execute the groups.
 
@@ -498,6 +695,7 @@ class InsumServer:
         ordinary per-request path; larger groups execute as one widened
         stacked Einsum.  First-arrival order is preserved across groups.
         """
+        batch = [request for request in batch if self._claim(request)]
         groups: dict[tuple, tuple[list[InsumRequest], Any]] = {}
         order: list[tuple[str, Any]] = []
         for request in batch:
@@ -549,45 +747,11 @@ class InsumServer:
             return None
         from repro.engine.coalesce import coalesce_key
 
-        logical, _, statement = self._expression_info_for(request.expression)
+        logical, _, statement = self.executor.expression_info(request.expression)
         try:
             return coalesce_key(request.expression, statement, logical, request.operands)
         except Exception:  # noqa: BLE001 — analysis must not fail a request
             return None
-
-    def _widened_for(self, expression: str) -> tuple[str, str] | None:
-        """The widened (stacked) expression for one logical expression."""
-        with self._operators_lock:
-            if expression in self._widened:
-                return self._widened[expression]
-        from repro.engine.coalesce import widen_expression
-
-        _, _, statement = self._expression_info_for(expression)
-        widened: tuple[str, str] | None
-        try:
-            widened = widen_expression(statement) if statement is not None else None
-        except Exception:  # noqa: BLE001 — fall back to per-request execution
-            widened = None
-        with self._operators_lock:
-            self._widened[expression] = widened
-        return widened
-
-    def _coalesced_operator_for(self, expression: str, widened_expression: str) -> _OperatorSlot:
-        """The long-lived operator executing coalesced batches of one expression."""
-        key = (expression, "coalesced")
-        with self._operators_lock:
-            slot = self._operators.get(key)
-            if slot is None:
-                slot = _OperatorSlot(
-                    operator=SparseEinsum(
-                        widened_expression,
-                        backend=self.backend,
-                        config=self.config,
-                        check_bounds=self.check_bounds,
-                    )
-                )
-                self._operators[key] = slot
-            return slot
 
     def _execute_group(self, requests: list[InsumRequest], ticket: Any) -> None:
         """Execute same-key requests as one widened stacked Einsum.
@@ -599,7 +763,7 @@ class InsumServer:
 
         started = time.perf_counter()
         try:
-            widened = self._widened_for(requests[0].expression)
+            widened = self.executor.widened_for(requests[0].expression)
             if widened is None:
                 raise LookupError("expression cannot be widened")
             # Pad to the next power of two: bounded plan-signature variety
@@ -613,7 +777,7 @@ class InsumServer:
                 ticket.sparse_name,
                 pad_to=min(pad_to, self.coalesce_max),
             )
-            slot = self._coalesced_operator_for(requests[0].expression, widened[0])
+            slot = self.executor.coalesced_operator_for(requests[0].expression, widened[0])
             with slot.lock:
                 batched = slot.operator(**stacked)
             outputs = split_results(np.asarray(batched), len(requests))
@@ -636,35 +800,28 @@ class InsumServer:
             self._record(result)
 
     def _record(self, result: InsumResult) -> None:
-        """Publish one result and update the serving counters."""
+        """Publish one terminal result and update the serving counters."""
         finished = time.perf_counter()
-        self._latencies.record(result.latency_ms)
+        if not isinstance(result.error, FutureCancelledError):
+            self._window.observe(result.ok, result.latency_ms, finished)
+        sink = self._result_sink
         with self._done:
-            self._results[result.request_id] = result
-            if result.ok:
-                self._completed += 1
+            self._taken.discard(result.request_id)
+            if sink is None:
+                self._results[result.request_id] = result
             else:
-                self._failed += 1
-            self._window_finished = finished
+                self._pending.discard(result.request_id)
             self._done.notify_all()
+        if sink is not None:
+            sink(result)
 
     # -- reporting ----------------------------------------------------------
     def stats(self) -> RuntimeStats:
         """Throughput, latency percentiles, and cache hit rate so far."""
-        wall = 0.0
-        if self._window_started is not None and self._window_finished is not None:
-            wall = max(0.0, self._window_finished - self._window_started)
-        cache_delta = get_plan_cache().stats().since(self._cache_mark)
         with self._done:
-            completed, failed = self._completed, self._failed
             coalesced_requests = self._coalesced_requests
             coalesced_batches = self._coalesced_batches
-        return build_stats(
-            completed,
-            failed,
-            wall,
-            self._latencies,
-            cache_delta,
+        return self._window.snapshot(
             coalesced_requests=coalesced_requests,
             coalesced_batches=coalesced_batches,
         )
@@ -672,17 +829,11 @@ class InsumServer:
     def reset_stats(self) -> None:
         """Start a fresh measurement window (counters, latencies, cache mark)."""
         with self._done:
-            self._completed = 0
-            self._failed = 0
             self._coalesced_requests = 0
             self._coalesced_batches = 0
-            self._window_started = None
-            self._window_finished = None
-        self._latencies.reset()
-        self._cache_mark = get_plan_cache().stats()
+        self._window.reset()
 
     @property
     def expressions_served(self) -> list[str]:
         """Distinct expressions with a live reusable operator."""
-        with self._operators_lock:
-            return sorted({expression for expression, _ in self._operators})
+        return self.executor.expressions()

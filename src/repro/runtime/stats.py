@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
-from repro.runtime.plan_cache import PlanCacheStats
+from repro.runtime.plan_cache import PlanCacheStats, get_plan_cache
 from repro.utils.timing import LatencyRecorder
 
 
@@ -67,6 +68,93 @@ class RuntimeStats:
                 f"{self.coalesced_batches} batches ({self.coalesce_rate:.1%} of requests)",
             ]
         )
+
+
+class ServingWindow:
+    """Thread-safe request-window bookkeeping shared by serving backends.
+
+    One instance carries everything a backend needs to report a
+    :class:`RuntimeStats` window — completed/failed counters, latency
+    samples, wall-clock bounds, and a plan-cache mark for the cache-hit
+    delta.  ``InsumServer`` and the serve tier's inline backend both
+    embed one, so the window semantics (what counts, how the wall clock
+    is bounded, what ``reset`` clears) live in exactly one place.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies = LatencyRecorder()
+        self._completed = 0
+        self._failed = 0
+        self._started: float | None = None
+        self._finished: float | None = None
+        self._cache_mark: PlanCacheStats = get_plan_cache().stats()
+
+    def open_at(self, timestamp: float) -> None:
+        """Record the window's first submission time (later calls no-op)."""
+        with self._lock:
+            if self._started is None:
+                self._started = timestamp
+
+    def observe(self, ok: bool, latency_ms: float, finished_at: float) -> None:
+        """Account one terminal (non-cancelled) request.
+
+        Parameters
+        ----------
+        ok:
+            Whether the request produced an output.
+        latency_ms / finished_at:
+            Its end-to-end latency and completion ``perf_counter`` stamp.
+        """
+        self._latencies.record(latency_ms)
+        with self._lock:
+            if ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+            self._finished = finished_at
+
+    def snapshot(
+        self,
+        coalesced_requests: int = 0,
+        coalesced_batches: int = 0,
+        cache_delta: PlanCacheStats | None = None,
+    ) -> RuntimeStats:
+        """The window as an immutable :class:`RuntimeStats`.
+
+        Parameters
+        ----------
+        coalesced_requests / coalesced_batches:
+            The backend's coalescing counters (zero where it has none).
+        cache_delta:
+            Override for the cache counters; defaults to the process-wide
+            plan cache's delta since construction / the last reset.
+        """
+        if cache_delta is None:
+            cache_delta = get_plan_cache().stats().since(self._cache_mark)
+        with self._lock:
+            wall = 0.0
+            if self._started is not None and self._finished is not None:
+                wall = max(0.0, self._finished - self._started)
+            return build_stats(
+                self._completed,
+                self._failed,
+                wall,
+                self._latencies,
+                cache_delta,
+                coalesced_requests=coalesced_requests,
+                coalesced_batches=coalesced_batches,
+            )
+
+    def reset(self) -> None:
+        """Start a fresh window (counters, latencies, wall clock, cache mark)."""
+        with self._lock:
+            self._completed = 0
+            self._failed = 0
+            self._started = None
+            self._finished = None
+        self._latencies.reset()
+        self._cache_mark = get_plan_cache().stats()
 
 
 def build_stats(

@@ -1,0 +1,151 @@
+"""ExecutorBackend: the protocol every serving tier speaks, plus inline.
+
+The serve tier's refactoring move: :class:`~repro.runtime.server.InsumServer`
+(threaded) and :class:`~repro.cluster.server.ClusterServer`
+(multi-process) both implement this one structural protocol, and
+:class:`InlineBackend` here adds the zero-infrastructure variant that
+executes in the calling thread — so :class:`repro.serve.Session` drives
+all three through identical plumbing.  All backends execute requests
+through the shared :class:`~repro.runtime.server.RequestExecutor` code
+path, which is what makes one workload's results bit-identical across
+them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.runtime.server import InsumResult, RequestExecutor
+from repro.runtime.stats import RuntimeStats, ServingWindow
+from repro.serve.config import ServeConfig
+
+ResultSink = Callable[[InsumResult], None]
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """The structural contract between :class:`Session` and a serving tier.
+
+    ``InsumServer``, ``ClusterServer``, and :class:`InlineBackend` all
+    satisfy it; a custom tier only has to match these six methods to sit
+    behind a session.
+    """
+
+    def enqueue(self, expression: str, **operands: Any) -> int:
+        """Accept one request for execution and return its ticket."""
+        ...
+
+    def try_cancel(self, request_id: int) -> bool:
+        """Withdraw a not-yet-dispatched ticket; False once it is running."""
+        ...
+
+    def set_result_sink(self, sink: ResultSink) -> None:
+        """Push terminal results into ``sink`` instead of storing them."""
+        ...
+
+    def stats(self) -> Any:
+        """The tier's raw report (normalized by the session into ServeStats)."""
+        ...
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window."""
+        ...
+
+    def close(self) -> None:
+        """Drain outstanding work and release the tier's resources."""
+        ...
+
+
+class InlineBackend:
+    """Synchronous in-thread execution behind the backend protocol.
+
+    ``enqueue`` runs the request immediately in the calling thread
+    through the shared :class:`~repro.runtime.server.RequestExecutor` —
+    no queue, no worker threads, no coalescing — and delivers the result
+    before returning.  The zero-concurrency baseline: debugging,
+    determinism-sensitive comparisons, and tests use it to pin down what
+    the concurrent tiers must reproduce bit-for-bit.
+    """
+
+    name = "inline"
+
+    def __init__(self, **executor_kwargs: Any):
+        self._executor = RequestExecutor(**executor_kwargs)
+        self._ids = itertools.count()
+        self._sink: ResultSink | None = None
+        self._results: dict[int, InsumResult] = {}
+        self._window = ServingWindow()
+        self._closed = False
+
+    def enqueue(self, expression: str, **operands: Any) -> int:
+        """Execute one request now; its result is delivered before return."""
+        from repro.errors import SessionClosedError
+
+        if self._closed:
+            raise SessionClosedError("inline backend is closed")
+        request_id = next(self._ids)
+        started = time.perf_counter()
+        self._window.open_at(started)
+        result = InsumResult(request_id=request_id, expression=expression)
+        try:
+            result.output = self._executor.execute(expression, operands)
+        except Exception as error:  # noqa: BLE001 — delivered through the result
+            result.error = error
+        finished = time.perf_counter()
+        result.latency_ms = (finished - started) * 1e3
+        self._window.observe(result.ok, result.latency_ms, finished)
+        if self._sink is not None:
+            self._sink(result)
+        else:
+            self._results[request_id] = result
+        return request_id
+
+    def try_cancel(self, request_id: int) -> bool:
+        """Always False: inline work completes during ``enqueue``."""
+        return False
+
+    def set_result_sink(self, sink: ResultSink) -> None:
+        """Deliver results into ``sink`` (synchronously, from ``enqueue``)."""
+        self._sink = sink
+
+    def collect(self, request_ids: list[int] | None = None) -> list[InsumResult]:
+        """Pop stored results by ticket (sink-less direct use only)."""
+        if request_ids is None:
+            request_ids = sorted(self._results)
+        return [self._results.pop(request_id) for request_id in request_ids]
+
+    def stats(self) -> RuntimeStats:
+        """Throughput, latency percentiles, and cache hit rate so far."""
+        return self._window.snapshot()
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (counters, latencies, cache mark)."""
+        self._window.reset()
+
+    def close(self) -> None:
+        """Release the executor (and its sharded thread pool, if any)."""
+        self._closed = True
+        self._executor.close()
+
+
+def build_backend(name: str, config: ServeConfig) -> ExecutorBackend:
+    """Construct the named tier from a validated :class:`ServeConfig`.
+
+    Parameters
+    ----------
+    name:
+        ``"inline"``, ``"threaded"``, or ``"cluster"``.
+    config:
+        Already validated for ``name`` (see :meth:`ServeConfig.validate`).
+    """
+    if name == "inline":
+        return InlineBackend(**config._inline_kwargs())
+    if name == "threaded":
+        from repro.runtime.server import InsumServer
+
+        return InsumServer(**config._threaded_kwargs())
+    from repro.cluster.server import ClusterServer
+
+    return ClusterServer(**config._cluster_kwargs())

@@ -1,0 +1,289 @@
+"""ServeConfig: one typed configuration for every serving backend.
+
+Before the serve tier, each backend grew its own kwarg set —
+``InsumServer(num_workers=, coalesce=, ...)``,
+``ClusterServer(num_workers=, worker_threads=, max_inflight=, ...)`` —
+with near-identical-but-divergent names and no cross-checking.
+``ServeConfig`` consolidates them into one frozen dataclass with
+per-backend validation: a field that is meaningless for the chosen
+backend (``max_inflight`` on a threaded session, ``coalesce`` on an
+inline one) raises :class:`ServeConfigError` instead of being silently
+ignored.
+
+Tier-specific fields default to ``None`` meaning "the backend's own
+default"; only explicitly-set fields are validated and forwarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+
+#: The recognised backend names, in escalation order.
+BACKENDS = ("inline", "threaded", "cluster")
+
+#: Fields meaningful on every backend (never rejected).
+_COMMON_FIELDS = frozenset(
+    {"compile_backend", "compile_config", "check_bounds", "auto_format", "tune"}
+)
+
+#: Tier-specific fields -> the backends they are meaningful on.
+_FIELD_BACKENDS: dict[str, frozenset[str]] = {
+    "workers": frozenset({"threaded", "cluster"}),
+    "num_shards": frozenset({"inline", "threaded"}),
+    "coalesce": frozenset({"threaded", "cluster"}),
+    "coalesce_max": frozenset({"threaded", "cluster"}),
+    "worker_threads": frozenset({"cluster"}),
+    "admission": frozenset({"cluster"}),
+    "max_inflight": frozenset({"cluster"}),
+    "block_timeout": frozenset({"cluster"}),
+    "max_attempts": frozenset({"cluster"}),
+    "ring_capacity": frozenset({"cluster"}),
+    "batch_window": frozenset({"cluster"}),
+    "spill_threshold": frozenset({"cluster"}),
+    "health_interval": frozenset({"cluster"}),
+    "heartbeat_timeout": frozenset({"cluster"}),
+    "start_method": frozenset({"cluster"}),
+}
+
+#: Environment-variable prefix understood by :meth:`ServeConfig.from_env`.
+ENV_PREFIX = "REPRO_SERVE_"
+
+
+class ServeConfigError(ServeError, ValueError):
+    """A :class:`ServeConfig` is invalid for the requested backend."""
+
+
+def _parse_env_value(name: str, raw: str) -> Any:
+    """Parse one ``REPRO_SERVE_*`` value by the target field's type."""
+    field_types = {
+        "workers": int,
+        "worker_threads": int,
+        "num_shards": int,
+        "coalesce": bool,
+        "coalesce_max": int,
+        "auto_format": bool,
+        "check_bounds": bool,
+        "max_inflight": int,
+        "block_timeout": float,
+        "max_attempts": int,
+        "ring_capacity": int,
+        "batch_window": int,
+        "spill_threshold": int,
+        "health_interval": float,
+        "heartbeat_timeout": float,
+    }
+    kind = field_types.get(name, str)
+    try:
+        if kind is bool:
+            lowered = raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"not a boolean: {raw!r}")
+        return kind(raw)
+    except ValueError as error:
+        raise ServeConfigError(f"{ENV_PREFIX}{name.upper()}={raw!r}: {error}") from None
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Typed, validated configuration for :class:`repro.serve.Session`.
+
+    Parameters
+    ----------
+    workers:
+        Worker parallelism of the tier: threads for ``threaded``,
+        processes for ``cluster`` (defaults: 4 / 2).  Meaningless — and
+        rejected — for ``inline``, which executes in the calling thread.
+    worker_threads:
+        Cluster only: threads of each worker process's inner server.
+    num_shards:
+        Inline/threaded: when > 1, shardable requests row-partition onto
+        a thread pool (see :class:`~repro.runtime.sharding.ShardedExecutor`).
+    compile_backend / compile_config / check_bounds:
+        The compiler stack under every operator (any backend).
+    auto_format / tune:
+        Tuner-driven per-request re-formatting (any backend).
+    coalesce / coalesce_max:
+        Same-plan request coalescing (threaded and cluster — inline has
+        no queue to drain a window from).
+    admission / max_inflight / block_timeout:
+        Cluster admission control (``"block"`` or ``"reject"``).
+    max_attempts:
+        Cluster: dispatch attempts across worker crashes before a request
+        fails with :class:`~repro.errors.WorkerCrashedError`.
+    ring_capacity:
+        Cluster: bytes per shared-memory transport ring.
+    batch_window / spill_threshold / health_interval / heartbeat_timeout / start_method:
+        Cluster tuning knobs, forwarded verbatim to
+        :class:`~repro.cluster.server.ClusterServer`; ``heartbeat_timeout=0``
+        disables the staleness check (the cluster's ``None``).
+    """
+
+    workers: int | None = None
+    worker_threads: int | None = None
+    num_shards: int | None = None
+    compile_backend: str = "inductor"
+    compile_config: Any = None
+    check_bounds: bool = True
+    auto_format: bool = False
+    tune: str = "auto"
+    coalesce: bool | None = None
+    coalesce_max: int | None = None
+    admission: str | None = None
+    max_inflight: int | None = None
+    block_timeout: float | None = None
+    max_attempts: int | None = None
+    ring_capacity: int | None = None
+    batch_window: int | None = None
+    spill_threshold: int | None = None
+    health_interval: float | None = None
+    heartbeat_timeout: float | None = None
+    start_method: str | None = None
+
+    def validate(self, backend: str) -> None:
+        """Reject this config when it is meaningless for ``backend``.
+
+        Parameters
+        ----------
+        backend:
+            One of ``"inline"``, ``"threaded"``, ``"cluster"``.
+
+        Raises
+        ------
+        ServeConfigError
+            For an unknown backend, or when any explicitly-set field does
+            not apply to it (every offending field is named in the
+            message — nothing is silently ignored).
+        """
+        if backend not in BACKENDS:
+            raise ServeConfigError(
+                f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        offending = [
+            name
+            for name, allowed in _FIELD_BACKENDS.items()
+            if getattr(self, name) is not None and backend not in allowed
+        ]
+        if offending:
+            details = ", ".join(
+                f"{name} (only meaningful on {'/'.join(sorted(_FIELD_BACKENDS[name]))})"
+                for name in offending
+            )
+            raise ServeConfigError(
+                f"ServeConfig fields not applicable to the {backend!r} backend: {details}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ServeConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.admission is not None and self.admission not in ("block", "reject"):
+            raise ServeConfigError(
+                f"admission must be 'block' or 'reject', got {self.admission!r}"
+            )
+        if self.tune not in ("auto", "model", "measure"):
+            raise ServeConfigError(
+                f"tune must be 'auto', 'model', or 'measure', got {self.tune!r}"
+            )
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "ServeConfig":
+        """Build a config from ``REPRO_SERVE_*`` environment variables.
+
+        Each dataclass field maps to ``REPRO_SERVE_<FIELD>`` (upper-case):
+        ``REPRO_SERVE_WORKERS=8``, ``REPRO_SERVE_COALESCE=off``,
+        ``REPRO_SERVE_MAX_INFLIGHT=256``, ...  Unset variables leave the
+        field at its default; values are parsed by the field's type
+        (booleans accept 1/0, true/false, yes/no, on/off).
+
+        Parameters
+        ----------
+        environ:
+            The mapping to read (defaults to ``os.environ``).
+        """
+        environ = os.environ if environ is None else environ
+        overrides: dict[str, Any] = {}
+        for field in dataclasses.fields(cls):
+            if field.name == "compile_config":
+                continue  # not expressible as an environment string
+            raw = environ.get(f"{ENV_PREFIX}{field.name.upper()}")
+            if raw is not None:
+                overrides[field.name] = _parse_env_value(field.name, raw)
+        return cls(**overrides)
+
+    # -- kwarg resolution (serve-internal) ----------------------------------
+    def _common_kwargs(self) -> dict[str, Any]:
+        return dict(
+            backend=self.compile_backend,
+            config=self.compile_config,
+            check_bounds=self.check_bounds,
+            auto_format=self.auto_format,
+            tune=self.tune,
+        )
+
+    def _inline_kwargs(self) -> dict[str, Any]:
+        """Constructor kwargs for the inline backend's RequestExecutor."""
+        kwargs = self._common_kwargs()
+        if self.num_shards is not None:
+            kwargs["num_shards"] = self.num_shards
+        return kwargs
+
+    def _threaded_kwargs(self) -> dict[str, Any]:
+        """Constructor kwargs for :class:`~repro.runtime.server.InsumServer`."""
+        kwargs = self._common_kwargs()
+        for field_name, kwarg in (
+            ("workers", "num_workers"),
+            ("num_shards", "num_shards"),
+            ("coalesce", "coalesce"),
+            ("coalesce_max", "coalesce_max"),
+        ):
+            value = getattr(self, field_name)
+            if value is not None:
+                kwargs[kwarg] = value
+        return kwargs
+
+    def _cluster_kwargs(self) -> dict[str, Any]:
+        """Constructor kwargs for :class:`~repro.cluster.server.ClusterServer`."""
+        kwargs = self._common_kwargs()
+        for field_name, kwarg in (
+            ("workers", "num_workers"),
+            ("worker_threads", "worker_threads"),
+            ("coalesce", "coalesce"),
+            ("coalesce_max", "coalesce_max"),
+            ("admission", "admission"),
+            ("max_inflight", "max_inflight"),
+            ("block_timeout", "block_timeout"),
+            ("max_attempts", "max_attempts"),
+            ("ring_capacity", "ring_capacity"),
+            ("batch_window", "batch_window"),
+            ("spill_threshold", "spill_threshold"),
+            ("health_interval", "health_interval"),
+            ("start_method", "start_method"),
+        ):
+            value = getattr(self, field_name)
+            if value is not None:
+                kwargs[kwarg] = value
+        if self.heartbeat_timeout is not None:
+            # 0 = "disable the staleness check", the cluster's None.
+            kwargs["heartbeat_timeout"] = (
+                None if self.heartbeat_timeout == 0 else self.heartbeat_timeout
+            )
+        return kwargs
+
+    def resolved_workers(self, backend: str) -> int:
+        """The effective worker parallelism for ``backend``.
+
+        Parameters
+        ----------
+        backend:
+            The session backend name this config will drive.
+        """
+        if backend == "inline":
+            return 1
+        if self.workers is not None:
+            return self.workers
+        return 4 if backend == "threaded" else 2

@@ -1,0 +1,340 @@
+"""Session: the one front door over inline, threaded, and cluster serving.
+
+The paper's pitch is that one surface (the indirect Einsum) subsumes a
+zoo of hand-written kernels; the serving story makes the same move.
+Instead of three divergent entry points — ``insum()`` one-shots,
+``InsumServer`` tickets, ``ClusterServer`` tickets-with-admission — a
+:class:`Session` is constructed with a backend *name* and a typed
+:class:`~repro.serve.config.ServeConfig`, and every call site reads the
+same afterwards::
+
+    from repro.serve import ServeConfig, Session
+
+    with Session(backend="threaded", config=ServeConfig(workers=8)) as session:
+        future = session.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=dense)
+        C = future.result(timeout=5.0)
+
+Futures replace tickets: worker-side errors, admission rejections
+(:class:`~repro.errors.ClusterBusyError`), and crash give-ups
+(:class:`~repro.errors.WorkerCrashedError`) all surface at
+:meth:`Future.result`, uniformly across backends.  The asyncio bridge
+(:meth:`Session.asubmit`, :meth:`Session.amap_batches`) lets the cluster
+tier sit directly behind an async HTTP frontend without blocking the
+event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from collections import deque
+from typing import Any, AsyncIterator, Iterable, Iterator
+
+import numpy as np
+
+from repro.cluster.stats import ClusterStats
+from repro.errors import ServeError, SessionClosedError
+from repro.runtime.server import InsumResult
+from repro.serve.backend import ExecutorBackend, build_backend
+from repro.serve.config import ServeConfig
+from repro.serve.future import Future
+from repro.serve.stats import ServeStats
+
+#: Environment variable selecting the backend for :meth:`Session.from_env`.
+BACKEND_ENV = "REPRO_SERVE_BACKEND"
+
+
+class Session:
+    """One serving session over a chosen execution backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"inline"`` (execute in the calling thread), ``"threaded"``
+        (an :class:`~repro.runtime.server.InsumServer` thread pool), or
+        ``"cluster"`` (a multi-process
+        :class:`~repro.cluster.server.ClusterServer`).
+    config:
+        A :class:`~repro.serve.config.ServeConfig`; validated against the
+        backend, so tier-meaningless fields raise
+        :class:`~repro.serve.config.ServeConfigError` instead of being
+        ignored.  ``None`` means all defaults.
+
+    Used as a context manager, the session drains outstanding work and
+    closes the underlying tier on exit.
+    """
+
+    def __init__(self, backend: str = "inline", config: ServeConfig | None = None):
+        config = config if config is not None else ServeConfig()
+        config.validate(backend)
+        self.config = config
+        self._backend_name = backend
+        self._lock = threading.Lock()
+        self._futures: dict[int, Future] = {}
+        #: Results that arrived before their ticket was mapped (the inline
+        #: backend always resolves inside ``enqueue``, and a fast worker
+        #: can beat the mapping too).
+        self._early: dict[int, InsumResult] = {}
+        self._closed = False
+        self._backend: ExecutorBackend = build_backend(backend, config)
+        self._backend.set_result_sink(self._on_result)
+
+    @classmethod
+    def from_env(cls, environ: Any = None) -> "Session":
+        """Build a session from ``REPRO_SERVE_*`` environment variables.
+
+        ``REPRO_SERVE_BACKEND`` picks the tier (default ``inline``); the
+        remaining variables populate :meth:`ServeConfig.from_env` — so a
+        deployment switches from one process to a cluster without a code
+        change.
+
+        Parameters
+        ----------
+        environ:
+            The mapping to read (defaults to ``os.environ``).
+        """
+        import os
+
+        environ = os.environ if environ is None else environ
+        backend = environ.get(BACKEND_ENV, "inline")
+        return cls(backend=backend, config=ServeConfig.from_env(environ))
+
+    @property
+    def backend_name(self) -> str:
+        """The active backend: ``"inline"``, ``"threaded"``, or ``"cluster"``."""
+        return self._backend_name
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, expression: str, **operands: Any) -> Future:
+        """Submit one request; returns its :class:`Future` immediately.
+
+        Parameters
+        ----------
+        expression:
+            The Einsum to execute — raw indirect, or format-agnostic with
+            a sparse operand bound.
+        **operands:
+            Operand tensors by name (:class:`numpy.ndarray` and/or
+            :class:`~repro.formats.base.SparseFormat` instances).
+
+        Serving-tier failures (e.g. a cluster admission rejection) do not
+        raise here: they resolve the returned future, so error handling
+        lives in one place — :meth:`Future.result` — on every backend.
+
+        Raises
+        ------
+        SessionClosedError
+            When the session has been closed (a programming error, not a
+            serving outcome).
+        """
+        if self._closed:
+            raise SessionClosedError("Session is closed")
+        future = Future(self)
+        try:
+            ticket = self._backend.enqueue(expression, **operands)
+        except SessionClosedError:
+            raise
+        except ServeError as error:
+            future._reject(error)
+            return future
+        future._ticket = ticket
+        with self._lock:
+            early = self._early.pop(ticket, None)
+            if early is None:
+                self._futures[ticket] = future
+        if early is not None:
+            future._deliver(early)
+        return future
+
+    def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[Future]:
+        """Submit ``(expression, operands)`` pairs; one future per request.
+
+        Never raises mid-iteration: a request the tier rejects (admission
+        over capacity, say) yields a future that fails with that error,
+        while every other request proceeds — the atomicity hazard of the
+        legacy ``submit_many`` (tickets lost on a mid-batch rejection)
+        cannot occur.
+        """
+        return [self.submit(expression, **operands) for expression, operands in requests]
+
+    def map_batches(
+        self,
+        requests: Iterable[tuple[str, dict[str, Any]]],
+        window: int = 64,
+        timeout: float | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Stream results for a request iterable, in order, lazily.
+
+        Parameters
+        ----------
+        requests:
+            ``(expression, operands)`` pairs; may be a generator — at
+            most ``window`` requests are in flight at once, so an
+            unbounded stream serves in bounded memory.
+        window:
+            In-flight bound (also the coalescing opportunity the backend
+            sees).
+        timeout:
+            Per-result wait bound, as in :meth:`Future.result`.
+
+        Yields
+        ------
+        numpy.ndarray
+            Each request's output, in submission order; a failed request
+            raises its error at its position in the stream.
+        """
+        pending: deque[Future] = deque()
+        for expression, operands in requests:
+            pending.append(self.submit(expression, **operands))
+            while len(pending) >= window:
+                yield pending.popleft().result(timeout)
+        while pending:
+            yield pending.popleft().result(timeout)
+
+    # -- asyncio bridge -----------------------------------------------------
+    async def asubmit(self, expression: str, **operands: Any) -> np.ndarray:
+        """Await one request's result without blocking the event loop.
+
+        The submission itself runs in the loop's default thread-pool
+        executor (cluster admission in ``"block"`` mode may wait for
+        capacity; inline execution happens inside submit), and completion
+        is bridged back via ``call_soon_threadsafe`` — no polling.  An
+        async HTTP handler can therefore call
+        ``await session.asubmit(...)`` directly; errors raise from the
+        ``await`` exactly as :meth:`Future.result` would raise them.
+        """
+        loop = asyncio.get_running_loop()
+        submit = functools.partial(self.submit, expression, **operands)
+        future = await loop.run_in_executor(None, submit)
+        afuture: asyncio.Future[np.ndarray] = loop.create_future()
+
+        def transfer(done: Future) -> None:
+            def apply() -> None:
+                if afuture.cancelled():
+                    return
+                try:
+                    afuture.set_result(done.result(timeout=0))
+                except BaseException as error:  # noqa: BLE001 — delivered via the future
+                    afuture.set_exception(error)
+
+            loop.call_soon_threadsafe(apply)
+
+        future.add_done_callback(transfer)
+        return await afuture
+
+    async def amap_batches(
+        self,
+        requests: Iterable[tuple[str, dict[str, Any]]],
+        window: int = 64,
+    ) -> AsyncIterator[np.ndarray]:
+        """Async variant of :meth:`map_batches` (``async for`` over results).
+
+        Parameters
+        ----------
+        requests:
+            ``(expression, operands)`` pairs; at most ``window`` are in
+            flight at once.
+        window:
+            In-flight bound.
+        """
+        pending: deque[asyncio.Task] = deque()
+        try:
+            for expression, operands in requests:
+                pending.append(asyncio.ensure_future(self.asubmit(expression, **operands)))
+                while len(pending) >= window:
+                    yield await pending.popleft()
+            while pending:
+                yield await pending.popleft()
+        finally:
+            for task in pending:
+                task.cancel()
+
+    # -- completion plumbing (sink side) ------------------------------------
+    def _on_result(self, result: InsumResult) -> None:
+        """The backend's result sink: resolve the ticket's future."""
+        with self._lock:
+            future = self._futures.pop(result.request_id, None)
+            if future is None:
+                self._early[result.request_id] = result
+                return
+        future._deliver(result)
+
+    def _try_cancel(self, ticket: int) -> bool:
+        """Forward a future's cancel request to the backend."""
+        return self._backend.try_cancel(ticket)
+
+    # -- lifecycle ----------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for outstanding futures to resolve; best-effort under a timeout.
+
+        Parameters
+        ----------
+        timeout:
+            Total seconds to wait across all outstanding futures;
+            ``None`` waits indefinitely.
+
+        Returns
+        -------
+        bool
+            True when every outstanding future resolved; False when the
+            timeout expired with work still unresolved (never raises for
+            a timeout — the caller keeps the futures and can wait again).
+        """
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            outstanding = list(self._futures.values())
+        drained = True
+        for future in outstanding:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                future.exception(remaining)
+            except TimeoutError:
+                drained = False  # keep checking the rest with whatever time is left
+            except ServeError:
+                pass  # resolved (cancelled) — drained as far as it will go
+        return drained
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain outstanding work and shut down the backend (idempotent).
+
+        Parameters
+        ----------
+        timeout:
+            Bound on the drain; work still unresolved afterwards is
+            abandoned to the backend's own close semantics (no
+            ``TimeoutError`` is raised).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.drain(timeout)
+        finally:
+            self._backend.close()
+
+    def __enter__(self) -> "Session":
+        """Enter the context; the session is usable immediately."""
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        """Drain and close the underlying tier."""
+        self.close()
+
+    # -- reporting ----------------------------------------------------------
+    def stats(self) -> ServeStats:
+        """The backend's report, normalized to one :class:`ServeStats` shape."""
+        raw = self._backend.stats()
+        if isinstance(raw, ClusterStats):
+            return ServeStats.from_cluster(raw)
+        return ServeStats.from_runtime(
+            raw,
+            backend=self._backend_name,
+            workers=self.config.resolved_workers(self._backend_name),
+        )
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window on the backend."""
+        self._backend.reset_stats()

@@ -1,0 +1,144 @@
+"""ServeStats: one normalized serving report across every backend.
+
+The threaded tier reports a :class:`~repro.runtime.stats.RuntimeStats`,
+the cluster tier a :class:`~repro.cluster.stats.ClusterStats` with a
+different shape (nested aggregate + failure-machinery counters), and the
+inline backend has no tier-specific counters at all.  ``ServeStats``
+flattens all three into one field set so code written against
+``session.stats()`` never branches on the backend: cluster-only counters
+(``rejected`` / ``requeued`` / ``restarts``) are simply zero elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.stats import ClusterStats
+from repro.runtime.stats import RuntimeStats
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """One immutable, backend-normalized report over a serving window.
+
+    Built by :meth:`repro.serve.Session.stats` from whichever raw report
+    the active backend produces.  Latency fields are end-to-end
+    (submission to completion) as measured by the tier that owns the
+    request lifecycle; cache and coalescing counters aggregate across
+    workers where the tier has them.
+    """
+
+    backend: str
+    workers: int
+    completed: int
+    failed: int
+    wall_seconds: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    cache_hits: int
+    cache_misses: int
+    coalesced_requests: int = 0
+    coalesced_batches: int = 0
+    rejected: int = 0
+    requeued: int = 0
+    restarts: int = 0
+    per_worker: tuple[RuntimeStats, ...] = ()
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock serving time."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests served without compiling (0.0 when idle).
+
+        Coalesced requests beyond the first of each batch never perform a
+        plan-cache lookup at all — the batch compiles (or hits) once — so
+        they count as lookup-free hits alongside the cache's own hits.
+        """
+        free = max(0, self.coalesced_requests - self.coalesced_batches)
+        lookups = self.cache_hits + self.cache_misses + free
+        return (self.cache_hits + free) / lookups if lookups else 0.0
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of completed requests served via coalesced batches."""
+        return self.coalesced_requests / self.completed if self.completed else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (throughput, latency, cache)."""
+        lines = [
+            f"backend    : {self.backend} ({self.workers} workers)",
+            f"requests   : {self.completed} completed, {self.failed} failed "
+            f"in {self.wall_seconds:.3f}s ({self.throughput_rps:.1f} req/s)",
+            f"latency    : p50 {self.p50_latency_ms:.3f} ms, "
+            f"p95 {self.p95_latency_ms:.3f} ms, "
+            f"mean {self.mean_latency_ms:.3f} ms, "
+            f"max {self.max_latency_ms:.3f} ms",
+            f"plan cache : {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(hit rate {self.cache_hit_rate:.1%})",
+            f"coalescing : {self.coalesced_requests} requests in "
+            f"{self.coalesced_batches} batches ({self.coalesce_rate:.1%} of requests)",
+        ]
+        if self.backend == "cluster":
+            lines.append(
+                f"cluster    : {self.rejected} rejected, {self.requeued} requeued, "
+                f"{self.restarts} restarts"
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_runtime(cls, stats: RuntimeStats, backend: str, workers: int) -> "ServeStats":
+        """Normalize a threaded/inline tier's :class:`RuntimeStats`.
+
+        Parameters
+        ----------
+        stats:
+            The raw report from ``InsumServer.stats()`` or the inline
+            backend.
+        backend / workers:
+            The session's backend name and worker parallelism, which the
+            raw report does not carry.
+        """
+        return cls(
+            backend=backend,
+            workers=workers,
+            completed=stats.completed,
+            failed=stats.failed,
+            wall_seconds=stats.wall_seconds,
+            p50_latency_ms=stats.p50_latency_ms,
+            p95_latency_ms=stats.p95_latency_ms,
+            mean_latency_ms=stats.mean_latency_ms,
+            max_latency_ms=stats.max_latency_ms,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            coalesced_requests=stats.coalesced_requests,
+            coalesced_batches=stats.coalesced_batches,
+        )
+
+    @classmethod
+    def from_cluster(cls, stats: ClusterStats) -> "ServeStats":
+        """Normalize a :class:`ClusterStats` (flattening its aggregate)."""
+        aggregate = stats.aggregate
+        return cls(
+            backend="cluster",
+            workers=stats.workers,
+            completed=aggregate.completed,
+            failed=aggregate.failed,
+            wall_seconds=aggregate.wall_seconds,
+            p50_latency_ms=aggregate.p50_latency_ms,
+            p95_latency_ms=aggregate.p95_latency_ms,
+            mean_latency_ms=aggregate.mean_latency_ms,
+            max_latency_ms=aggregate.max_latency_ms,
+            cache_hits=aggregate.cache_hits,
+            cache_misses=aggregate.cache_misses,
+            coalesced_requests=aggregate.coalesced_requests,
+            coalesced_batches=aggregate.coalesced_batches,
+            rejected=stats.rejected,
+            requeued=stats.requeued,
+            restarts=stats.restarts,
+            per_worker=stats.per_worker,
+        )

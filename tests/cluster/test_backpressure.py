@@ -32,7 +32,7 @@ def test_reject_policy_sheds_load_with_retry_after(heavy_request):
         for _ in range(12):
             expression, operands = heavy_request()
             try:
-                tickets.append(cluster.submit(expression, **operands))
+                tickets.append(cluster.enqueue(expression, **operands))
             except ClusterBusyError as error:
                 rejections.append(error)
         assert rejections, "submitting 12 requests over a bound of 2 must shed load"
@@ -40,7 +40,7 @@ def test_reject_policy_sheds_load_with_retry_after(heavy_request):
             assert error.retry_after > 0
             assert error.limit == 2
         # Everything that *was* admitted completes normally.
-        results = cluster.gather(tickets, timeout=120)
+        results = cluster.collect(tickets, timeout=120)
         assert all(result.ok for result in results)
         assert cluster.stats().rejected == len(rejections)
 
@@ -51,8 +51,8 @@ def test_block_policy_applies_backpressure_not_errors(heavy_request):
         num_workers=1, worker_threads=1, max_inflight=2, admission="block"
     ) as cluster:
         requests = [heavy_request() for _ in range(8)]
-        tickets = cluster.submit_many(requests)  # blocks as needed, never raises
-        results = cluster.gather(tickets, timeout=120)
+        tickets = cluster.enqueue_many(requests)  # blocks as needed, never raises
+        results = cluster.collect(tickets, timeout=120)
         assert all(result.ok for result in results)
         assert cluster.stats().rejected == 0
         assert cluster.admission.inflight == 0

@@ -34,11 +34,11 @@ def test_crash_restart_and_requeue(pattern):
         assert warm[0].ok
         victims = list(cluster.worker_pids)
         operand_sets = [rng.standard_normal((128, 8)) for _ in range(60)]
-        tickets = cluster.submit_many(
+        tickets = cluster.enqueue_many(
             ("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=operand)) for operand in operand_sets
         )
         os.kill(victims[0], signal.SIGKILL)
-        results = cluster.gather(tickets, timeout=120)
+        results = cluster.collect(tickets, timeout=120)
         assert all(result.ok for result in results), [
             result.error for result in results if not result.ok
         ][:1]
@@ -65,12 +65,12 @@ def test_two_consecutive_crashes_recover(pattern):
     with ClusterServer(num_workers=2, worker_threads=1, health_interval=0.05) as cluster:
         for _ in range(2):
             pids = list(cluster.worker_pids)
-            tickets = cluster.submit_many(
+            tickets = cluster.enqueue_many(
                 ("C[m,n] += A[m,k] * B[k,n]", dict(A=fmt, B=rng.standard_normal((128, 4))))
                 for _ in range(20)
             )
             os.kill(pids[0], signal.SIGKILL)
-            results = cluster.gather(tickets, timeout=120)
+            results = cluster.collect(tickets, timeout=120)
             assert all(result.ok for result in results)
             deadline = time.monotonic() + 30
             while cluster.worker_pids[0] == pids[0]:
@@ -82,10 +82,10 @@ def test_two_consecutive_crashes_recover(pattern):
 def test_requeue_gives_up_after_max_attempts():
     """A request that keeps dying completes with WorkerCrashedError."""
     with ClusterServer(num_workers=1, worker_threads=1, max_attempts=2) as cluster:
-        ticket = cluster.submit(
+        ticket = cluster.enqueue(
             "y[m] += A[m,k] * x[k]", y=np.zeros(2), A=np.zeros((2, 2)), x=np.zeros(2)
         )
-        (result,) = cluster.gather([ticket], timeout=60)
+        (result,) = cluster.collect([ticket], timeout=60)
         assert result.ok  # sanity: a healthy request is fine
         # Drive the requeue path directly: a dispatch at the attempt
         # ceiling must produce a terminal error, not another dispatch.
@@ -100,6 +100,6 @@ def test_requeue_gives_up_after_max_attempts():
         with cluster._state:
             cluster._pending.add(doomed.request_id)
         cluster._requeue(doomed, exclude_worker=None)
-        (lost,) = cluster.gather([doomed.request_id], timeout=30)
+        (lost,) = cluster.collect([doomed.request_id], timeout=30)
         assert not lost.ok
         assert isinstance(lost.error, WorkerCrashedError)

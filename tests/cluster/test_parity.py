@@ -50,12 +50,12 @@ def test_gather_semantics_match_insum_server(mixed_workload):
     """Ticket-order results, consumed-on-gather, KeyError on reuse."""
     expression, operands = mixed_workload[0]
     with ClusterServer(num_workers=1, worker_threads=1) as cluster:
-        first = cluster.submit(expression, **operands)
-        second = cluster.submit(expression, **operands)
-        results = cluster.gather([second, first], timeout=120)
+        first = cluster.enqueue(expression, **operands)
+        second = cluster.enqueue(expression, **operands)
+        results = cluster.collect([second, first], timeout=120)
         assert [result.request_id for result in results] == [second, first]
         try:
-            cluster.gather([first])
+            cluster.collect([first])
         except KeyError:
             pass
         else:  # pragma: no cover - fails the test
@@ -66,9 +66,9 @@ def test_bad_request_is_an_error_not_a_crash(mixed_workload):
     """A malformed expression errors per-request; the pool keeps serving."""
     expression, operands = mixed_workload[0]
     with ClusterServer(num_workers=1, worker_threads=1) as cluster:
-        bad = cluster.submit("this is not an einsum", x=np.zeros(3))
-        good = cluster.submit(expression, **operands)
-        bad_result, good_result = cluster.gather([bad, good], timeout=60)
+        bad = cluster.enqueue("this is not an einsum", x=np.zeros(3))
+        good = cluster.enqueue(expression, **operands)
+        bad_result, good_result = cluster.collect([bad, good], timeout=60)
         assert not bad_result.ok
         assert good_result.ok
         stats = cluster.stats()

@@ -34,9 +34,9 @@ def test_close_unlinks_every_segment(small_request):
 def test_close_drains_in_flight_work_first(small_request):
     expression, operands = small_request
     cluster = ClusterServer(num_workers=2, worker_threads=1)
-    tickets = cluster.submit_many([(expression, operands)] * 10)
+    tickets = cluster.enqueue_many([(expression, operands)] * 10)
     cluster.close()  # must wait for the 10 requests, then stop
-    results = cluster.gather(tickets)  # results survive close for gathering
+    results = cluster.collect(tickets)  # results survive close for gathering
     assert all(result.ok for result in results)
 
 
@@ -47,7 +47,7 @@ def test_close_is_idempotent_and_submissions_after_close_fail(small_request):
     cluster.close()
     cluster.close()  # second close is a no-op
     with pytest.raises(RuntimeError, match="closed"):
-        cluster.submit(expression, **operands)
+        cluster.enqueue(expression, **operands)
 
 
 def test_worker_processes_exit_on_close(small_request):

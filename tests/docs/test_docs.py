@@ -18,6 +18,8 @@ DOC_PAGES = [
     "docs/FORMATS.md",
     "docs/BENCHMARKS.md",
     "docs/PERFORMANCE.md",
+    "docs/SERVING.md",
+    "docs/API.md",
 ]
 
 

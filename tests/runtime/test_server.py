@@ -57,9 +57,9 @@ def test_submit_gather_out_of_order(rng):
     dense = np.where(rng.random((8, 8)) < 0.5, rng.standard_normal((8, 8)), 0.0)
     fmt = COO.from_dense(dense)
     with InsumServer(num_workers=2) as server:
-        first = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(8))
-        second = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=2.0 * np.eye(8))
-        late, early = server.gather([second, first])
+        first = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(8))
+        second = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=2.0 * np.eye(8))
+        late, early = server.collect([second, first])
     np.testing.assert_allclose(early.unwrap(), dense, atol=1e-12)
     np.testing.assert_allclose(late.unwrap(), 2.0 * dense, atol=1e-12)
     assert early.request_id == first and late.request_id == second
@@ -73,17 +73,17 @@ def test_dense_indirect_requests_use_insum_path(rng):
     )
     expression = "C[AM[p],n] += AV[p] * B[AK[p],n]"
     with InsumServer(num_workers=2) as server:
-        ticket = server.submit(expression, **operands)
-        (result,) = server.gather([ticket])
+        ticket = server.enqueue(expression, **operands)
+        (result,) = server.collect([ticket])
     np.testing.assert_array_equal(result.unwrap(), insum(expression, **operands))
 
 
 def test_failed_request_reports_error_and_server_survives(rng):
     fmt = COO.from_dense(np.eye(4))
     with InsumServer(num_workers=2) as server:
-        bad = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.zeros((7, 3)))
-        good = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
-        bad_result, good_result = server.gather([bad, good])
+        bad = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.zeros((7, 3)))
+        good = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        bad_result, good_result = server.collect([bad, good])
         stats = server.stats()
     assert not bad_result.ok
     with pytest.raises(EinsumValidationError):
@@ -97,8 +97,8 @@ def test_gather_all_without_tickets(rng):
     fmt = COO.from_dense(np.eye(4))
     with InsumServer(num_workers=2) as server:
         for scale in (1.0, 2.0, 3.0):
-            server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=scale * np.eye(4))
-        results = server.gather()
+            server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=scale * np.eye(4))
+        results = server.collect()
     assert [r.request_id for r in results] == [0, 1, 2]
     assert all(r.ok for r in results)
 
@@ -107,20 +107,20 @@ def test_operator_reuse_across_requests(rng):
     fmt = COO.from_dense(np.eye(4))
     with InsumServer(num_workers=1) as server:
         for _ in range(5):
-            server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
-        server.gather()
+            server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.collect()
         assert server.expressions_served == ["C[m,n] += A[m,k] * B[k,n]"]
 
 
 def test_reset_stats_opens_new_window(rng):
     fmt = COO.from_dense(np.eye(4))
     with InsumServer(num_workers=1) as server:
-        server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
-        server.gather()
+        server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.collect()
         server.reset_stats()
         assert server.stats().completed == 0
-        server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
-        server.gather()
+        server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        server.collect()
         stats = server.stats()
     assert stats.completed == 1
     assert stats.cache_hit_rate == 1.0  # warm cache: the repeat is a pure hit
@@ -132,25 +132,25 @@ def test_sharded_server_matches_unsharded(rng):
     b = np.round(rng.standard_normal((32, 6)) * 8)
     expression = "C[m,n] += A[m,k] * B[k,n]"
     with InsumServer(num_workers=2, num_shards=4) as server:
-        ticket = server.submit(expression, A=fmt, B=b)
-        (result,) = server.gather([ticket])
+        ticket = server.enqueue(expression, A=fmt, B=b)
+        (result,) = server.collect([ticket])
     np.testing.assert_array_equal(result.unwrap(), dense @ b)
 
 
 def test_gather_consumed_or_unknown_ticket_raises_keyerror(rng):
     fmt = COO.from_dense(np.eye(4))
     with InsumServer(num_workers=1) as server:
-        ticket = server.submit("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
-        (result,) = server.gather([ticket])
+        ticket = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=fmt, B=np.eye(4))
+        (result,) = server.collect([ticket])
         assert result.ok
         with pytest.raises(KeyError, match="not in flight"):
-            server.gather([ticket])  # already consumed: must not block forever
+            server.collect([ticket])  # already consumed: must not block forever
         with pytest.raises(KeyError, match="not in flight"):
-            server.gather([999])  # never submitted
+            server.collect([999])  # never submitted
 
 
 def test_submit_after_close_raises(rng):
     server = InsumServer(num_workers=1)
     server.close()
     with pytest.raises(RuntimeError, match="closed"):
-        server.submit("C[i] += A[i]", A=np.ones(3), C=np.zeros(3))
+        server.enqueue("C[i] += A[i]", A=np.ones(3), C=np.zeros(3))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the serve-tier test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COO, GroupCOO
+from repro.kernels import FullyConnectedTensorProduct
+
+SPMM_EXPR = "C[m,n] += A[m,k] * B[k,n]"
+SPMV_EXPR = "y[m] += A[m,k] * x[k]"
+
+
+@pytest.fixture(scope="module")
+def spmm_operands():
+    """One small SpMM request: a GroupCOO pattern and a dense operand."""
+    rng = np.random.default_rng(11)
+    fmt = GroupCOO.from_dense(
+        np.where(rng.random((32, 48)) < 0.1, rng.standard_normal((32, 48)), 0.0),
+        group_size=4,
+    )
+    return dict(A=fmt, B=rng.standard_normal((48, 8)))
+
+
+@pytest.fixture(scope="module")
+def serve_workload():
+    """A mixed workload (SpMM/SpMV/raw-indirect equivariant), 24 requests.
+
+    Mirrors the cluster suite's mixed workload at serve-suite size: the
+    backend parity test submits exactly this through all three backends
+    and demands bitwise-identical outputs.
+    """
+    rng = np.random.default_rng(23)
+    spmm = GroupCOO.from_dense(
+        np.where(rng.random((48, 64)) < 0.08, rng.standard_normal((48, 64)), 0.0),
+        group_size=4,
+    )
+    spmv = COO.from_dense(
+        np.where(rng.random((40, 40)) < 0.1, rng.standard_normal((40, 40)), 0.0)
+    )
+    equivariant = FullyConnectedTensorProduct(l_max=1, channels=4)
+    x, y, w = equivariant.random_inputs(batch=2, rng=rng)
+    z = np.zeros((2, equivariant.slot_dimension, equivariant.channels))
+    recipes = [
+        (SPMM_EXPR, lambda: dict(A=spmm, B=rng.standard_normal((64, 8)))),
+        (SPMV_EXPR, lambda: dict(A=spmv, x=rng.standard_normal(40))),
+        (
+            equivariant.expression,
+            lambda: dict(Z=z.copy(), X=x, Y=y, W=w, **equivariant._grouped),
+        ),
+    ]
+    pattern = [0, 0, 1, 0, 1, 2, 0, 1]
+    return [
+        (recipes[pattern[i % len(pattern)]][0], recipes[pattern[i % len(pattern)]][1]())
+        for i in range(24)
+    ]

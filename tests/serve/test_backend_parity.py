@@ -1,0 +1,92 @@
+"""Backend parity: one workload, three backends, identical bits.
+
+The acceptance bar of the serve tier: a workload submitted through
+``Session`` on inline, threaded, and cluster backends returns
+*bitwise-equal* results and a normalized :class:`ServeStats` — proof
+that the three tiers share one execution path
+(:class:`~repro.runtime.server.RequestExecutor`) rather than three
+reimplementations.  Coalescing is disabled here because batched
+execution is only equal up to floating-point reassociation; parity of
+the coalesced path against per-request execution is covered by
+``tests/runtime/test_server_coalesce.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, ServeStats, Session
+
+BACKEND_CONFIGS = {
+    "inline": ServeConfig(),
+    "threaded": ServeConfig(workers=2, coalesce=False),
+    "cluster": ServeConfig(workers=2, worker_threads=1, coalesce=False),
+}
+
+
+@pytest.fixture(scope="module")
+def per_backend_results(serve_workload):
+    """The workload's outputs and stats from every backend, computed once."""
+    outcome = {}
+    for backend, config in BACKEND_CONFIGS.items():
+        with Session(backend=backend, config=config) as session:
+            futures = session.submit_many(serve_workload)
+            outputs = [future.result(timeout=120) for future in futures]
+            outcome[backend] = (outputs, session.stats())
+    return outcome
+
+
+def test_all_backends_return_bitwise_equal_results(per_backend_results):
+    reference, _ = per_backend_results["inline"]
+    for backend in ("threaded", "cluster"):
+        outputs, _ = per_backend_results[backend]
+        assert len(outputs) == len(reference)
+        for index, (expected, actual) in enumerate(zip(reference, outputs)):
+            assert np.array_equal(np.asarray(expected), np.asarray(actual)), (
+                f"request {index} differs between inline and {backend}"
+            )
+
+
+def test_stats_are_normalized_across_backends(per_backend_results, serve_workload):
+    for backend, (_, stats) in per_backend_results.items():
+        assert isinstance(stats, ServeStats)
+        assert stats.backend == backend
+        assert stats.completed == len(serve_workload)
+        assert stats.failed == 0
+        assert stats.wall_seconds > 0
+        assert stats.throughput_rps > 0
+        assert stats.p95_latency_ms >= stats.p50_latency_ms >= 0
+        assert stats.cache_hits + stats.cache_misses > 0
+        # Cluster-only counters exist (and are zero) on every backend.
+        assert stats.rejected == 0 and stats.requeued == 0
+        summary = stats.summary()
+        assert backend in summary and "req/s" in summary
+    inline_stats = per_backend_results["inline"][1]
+    cluster_stats = per_backend_results["cluster"][1]
+    assert inline_stats.workers == 1
+    assert cluster_stats.workers == 2
+    assert cluster_stats.restarts == 0
+    assert len(cluster_stats.per_worker) == 2
+
+
+def test_map_batches_matches_submit_order(serve_workload):
+    with Session(backend="threaded", config=ServeConfig(workers=2, coalesce=False)) as session:
+        streamed = [np.asarray(out) for out in session.map_batches(serve_workload, window=8)]
+    with Session(backend="inline") as session:
+        direct = [
+            np.asarray(future.result(30)) for future in session.submit_many(serve_workload)
+        ]
+    assert len(streamed) == len(direct)
+    for expected, actual in zip(direct, streamed):
+        assert np.array_equal(expected, actual)
+
+
+def test_sharded_inline_matches_unsharded(serve_workload):
+    """num_shards is an inline/threaded knob; results stay exact (disjoint rows)."""
+    with Session(backend="inline", config=ServeConfig(num_shards=2)) as session:
+        sharded = [np.asarray(f.result(30)) for f in session.submit_many(serve_workload[:6])]
+    with Session(backend="inline") as session:
+        plain = [np.asarray(f.result(30)) for f in session.submit_many(serve_workload[:6])]
+    for expected, actual in zip(plain, sharded):
+        np.testing.assert_allclose(actual, expected, atol=1e-12)

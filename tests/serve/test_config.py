@@ -1,0 +1,107 @@
+"""ServeConfig: per-backend validation and environment construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, ServeConfigError, Session
+
+
+def test_defaults_valid_on_every_backend():
+    config = ServeConfig()
+    for backend in ("inline", "threaded", "cluster"):
+        config.validate(backend)  # must not raise
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ServeConfigError, match="unknown backend"):
+        ServeConfig().validate("gpu-farm")
+    with pytest.raises(ServeConfigError, match="unknown backend"):
+        Session(backend="gpu-farm")
+
+
+@pytest.mark.parametrize(
+    ("backend", "config", "field"),
+    [
+        ("inline", ServeConfig(workers=4), "workers"),
+        ("inline", ServeConfig(coalesce=True), "coalesce"),
+        ("inline", ServeConfig(max_inflight=10), "max_inflight"),
+        ("threaded", ServeConfig(max_inflight=10), "max_inflight"),
+        ("threaded", ServeConfig(worker_threads=2), "worker_threads"),
+        ("threaded", ServeConfig(admission="reject"), "admission"),
+        ("threaded", ServeConfig(heartbeat_timeout=5.0), "heartbeat_timeout"),
+        ("cluster", ServeConfig(num_shards=2), "num_shards"),
+    ],
+)
+def test_meaningless_combinations_rejected_not_ignored(backend, config, field):
+    """A tier-inapplicable field raises and is named — never silently dropped."""
+    with pytest.raises(ServeConfigError, match=field):
+        config.validate(backend)
+
+
+def test_validation_messages_name_every_offending_field():
+    config = ServeConfig(workers=4, max_inflight=10, admission="reject")
+    with pytest.raises(ServeConfigError) as excinfo:
+        config.validate("inline")
+    message = str(excinfo.value)
+    assert "workers" in message and "max_inflight" in message and "admission" in message
+
+
+def test_value_validation():
+    with pytest.raises(ServeConfigError, match="workers"):
+        ServeConfig(workers=0).validate("threaded")
+    with pytest.raises(ServeConfigError, match="admission"):
+        ServeConfig(admission="panic").validate("cluster")
+    with pytest.raises(ServeConfigError, match="tune"):
+        ServeConfig(tune="guess").validate("inline")
+
+
+def test_resolved_workers_defaults():
+    assert ServeConfig().resolved_workers("inline") == 1
+    assert ServeConfig().resolved_workers("threaded") == 4
+    assert ServeConfig().resolved_workers("cluster") == 2
+    assert ServeConfig(workers=7).resolved_workers("threaded") == 7
+
+
+def test_from_env_parses_typed_fields():
+    config = ServeConfig.from_env(
+        {
+            "REPRO_SERVE_WORKERS": "8",
+            "REPRO_SERVE_COALESCE": "off",
+            "REPRO_SERVE_BLOCK_TIMEOUT": "2.5",
+            "REPRO_SERVE_TUNE": "measure",
+            "UNRELATED": "ignored",
+        }
+    )
+    assert config.workers == 8
+    assert config.coalesce is False
+    assert config.block_timeout == 2.5
+    assert config.tune == "measure"
+    assert config.max_inflight is None  # unset stays at the tier default
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "Yes", "ON"])
+def test_from_env_boolean_truthy(raw):
+    assert ServeConfig.from_env({"REPRO_SERVE_AUTO_FORMAT": raw}).auto_format is True
+
+
+def test_from_env_bad_value_raises():
+    with pytest.raises(ServeConfigError, match="REPRO_SERVE_WORKERS"):
+        ServeConfig.from_env({"REPRO_SERVE_WORKERS": "many"})
+    with pytest.raises(ServeConfigError, match="REPRO_SERVE_COALESCE"):
+        ServeConfig.from_env({"REPRO_SERVE_COALESCE": "maybe"})
+
+
+def test_session_from_env_runs_a_request(spmm_operands):
+    environ = {"REPRO_SERVE_BACKEND": "threaded", "REPRO_SERVE_WORKERS": "2"}
+    with Session.from_env(environ) as session:
+        assert session.backend_name == "threaded"
+        assert session.config.workers == 2
+        future = session.submit("C[m,n] += A[m,k] * B[k,n]", **spmm_operands)
+        assert future.result(timeout=30).shape == (32, 8)
+
+
+def test_session_from_env_rejects_cross_tier_config():
+    environ = {"REPRO_SERVE_BACKEND": "threaded", "REPRO_SERVE_MAX_INFLIGHT": "16"}
+    with pytest.raises(ServeConfigError, match="max_inflight"):
+        Session.from_env(environ)

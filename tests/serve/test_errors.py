@@ -1,0 +1,135 @@
+"""The unified error taxonomy and submit_many atomicity under admission.
+
+Every serving failure derives from :class:`repro.ServeError`, surfaces
+uniformly through :meth:`Future.result`, and a mid-batch admission
+rejection hands the caller the partial ticket list instead of leaking
+in-flight work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ClusterBusyError,
+    FutureCancelledError,
+    ServeError,
+    SessionClosedError,
+    WorkerCrashedError,
+)
+from repro.errors import ReproError
+from repro.serve import ServeConfig, ServeConfigError, Session
+
+SPMM_EXPR = "C[m,n] += A[m,k] * B[k,n]"
+
+
+def test_taxonomy_roots_and_compatibility():
+    for exc_type in (
+        ClusterBusyError,
+        WorkerCrashedError,
+        FutureCancelledError,
+        SessionClosedError,
+        ServeConfigError,
+    ):
+        assert issubclass(exc_type, ServeError)
+        assert issubclass(exc_type, ReproError)
+    # Pre-taxonomy code caught these as RuntimeError; that must keep working.
+    assert issubclass(ClusterBusyError, RuntimeError)
+    assert issubclass(WorkerCrashedError, RuntimeError)
+    assert issubclass(SessionClosedError, RuntimeError)
+    assert issubclass(ServeConfigError, ValueError)
+    # And all of them are importable from the package root.
+    for name in (
+        "ServeError",
+        "ClusterBusyError",
+        "WorkerCrashedError",
+        "FutureCancelledError",
+        "SessionClosedError",
+    ):
+        assert name in repro.__all__
+
+
+def test_legacy_import_locations_still_resolve():
+    from repro.cluster.admission import ClusterBusyError as from_admission
+    from repro.cluster.server import WorkerCrashedError as from_server
+
+    assert from_admission is ClusterBusyError
+    assert from_server is WorkerCrashedError
+
+
+def test_cluster_enqueue_many_returns_partial_tickets(spmm_operands):
+    """A mid-batch admission rejection carries the already-issued tickets."""
+    from repro.cluster.server import ClusterServer
+
+    with ClusterServer(
+        num_workers=1, worker_threads=1, admission="reject", max_inflight=1
+    ) as cluster:
+        requests = [(SPMM_EXPR, dict(spmm_operands))] * 12
+        with pytest.raises(ClusterBusyError) as excinfo:
+            cluster.enqueue_many(requests)
+        partial = excinfo.value.partial_tickets
+        assert len(partial) >= 1  # the accepted prefix is returned, not leaked
+        assert excinfo.value.retry_after > 0
+        # The partial batch is collectable: nothing is stranded in flight.
+        results = cluster.collect(list(partial), timeout=120)
+        assert all(result.ok for result in results)
+
+
+def test_session_submit_many_fails_only_the_rejected_tail(spmm_operands):
+    """Through futures, admission rejections are per-request, not batch-fatal."""
+    config = ServeConfig(workers=1, worker_threads=1, admission="reject", max_inflight=1)
+    with Session(backend="cluster", config=config) as session:
+        futures = session.submit_many([(SPMM_EXPR, dict(spmm_operands))] * 12)
+        assert len(futures) == 12  # no mid-iteration raise
+        outcomes = {"ok": 0, "busy": 0}
+        for future in futures:
+            try:
+                assert future.result(timeout=120).shape == (32, 8)
+                outcomes["ok"] += 1
+            except ClusterBusyError as error:
+                assert error.retry_after > 0
+                outcomes["busy"] += 1
+        assert outcomes["ok"] >= 1
+        assert outcomes["busy"] >= 1
+        assert outcomes["ok"] + outcomes["busy"] == 12
+
+
+def test_future_raises_serve_errors_uniformly(spmm_operands):
+    """One except-clause covers every backend's tier failures."""
+    config = ServeConfig(workers=1, worker_threads=1, admission="reject", max_inflight=1)
+    with Session(backend="cluster", config=config) as session:
+        futures = session.submit_many([(SPMM_EXPR, dict(spmm_operands))] * 12)
+        caught = []
+        for future in futures:
+            try:
+                future.result(timeout=120)
+            except ServeError as error:
+                caught.append(error)
+        assert caught  # at least one rejection
+        assert all(isinstance(error, ClusterBusyError) for error in caught)
+
+
+def test_closed_server_raises_session_closed_error(spmm_operands):
+    from repro.runtime.server import InsumServer
+
+    server = InsumServer(num_workers=1)
+    server.close()
+    with pytest.raises(SessionClosedError):
+        server.enqueue(SPMM_EXPR, **spmm_operands)
+    # SessionClosedError is still a RuntimeError mentioning "closed".
+    with pytest.raises(RuntimeError, match="closed"):
+        server.enqueue(SPMM_EXPR, **spmm_operands)
+
+
+def test_worker_error_types_survive_the_future_path(spmm_operands):
+    """Non-serve errors (bad requests) keep their concrete type via futures."""
+    with Session(backend="inline") as session:
+        future = session.submit(SPMM_EXPR, A=spmm_operands["A"], B=np.zeros((5, 2)))
+        error = None
+        try:
+            future.result(timeout=30)
+        except ReproError as caught:
+            error = caught
+        assert error is not None and not isinstance(error, ServeError)

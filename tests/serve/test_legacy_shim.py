@@ -1,0 +1,76 @@
+"""The legacy ticket API: still working, equivalent, and loudly deprecated.
+
+The repository itself no longer calls ``submit``/``submit_many``/
+``gather`` (the pytest configuration turns the ``legacy ticket API:``
+warning into an error everywhere else); this module is the one place
+that exercises the shims on purpose, under ``pytest.warns``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.server import InsumServer
+from repro.serve import ServeConfig, Session
+
+SPMM_EXPR = "C[m,n] += A[m,k] * B[k,n]"
+
+LEGACY = "legacy ticket API"
+
+
+def test_submit_gather_still_work_and_warn(spmm_operands):
+    with InsumServer(num_workers=2) as server:
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            ticket = server.submit(SPMM_EXPR, **spmm_operands)
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            (result,) = server.gather([ticket])
+    assert result.ok
+    assert result.unwrap().shape == (32, 8)
+
+
+def test_submit_many_warns_once_per_call(spmm_operands):
+    with InsumServer(num_workers=2) as server:
+        with pytest.warns(DeprecationWarning, match=LEGACY) as captured:
+            tickets = server.submit_many([(SPMM_EXPR, dict(spmm_operands))] * 3)
+        legacy_warnings = [w for w in captured if LEGACY in str(w.message)]
+        assert len(legacy_warnings) == 1  # the shim warns; the loop is internal
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            results = server.gather(tickets)
+    assert all(result.ok for result in results)
+
+
+def test_shim_results_match_session_futures(serve_workload):
+    """Old tickets and new futures produce the same bits for one workload."""
+    config = ServeConfig(workers=2, coalesce=False)
+    with InsumServer(num_workers=2, coalesce=False) as server:
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            tickets = server.submit_many(serve_workload)
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            legacy_results = server.gather(tickets)
+    with Session(backend="threaded", config=config) as session:
+        futures = session.submit_many(serve_workload)
+        modern_results = [future.result(timeout=60) for future in futures]
+    assert len(legacy_results) == len(modern_results)
+    for legacy, modern in zip(legacy_results, modern_results):
+        assert np.array_equal(np.asarray(legacy.unwrap()), np.asarray(modern))
+
+
+def test_cluster_shims_warn_and_work(spmm_operands):
+    from repro.cluster.server import ClusterServer
+
+    with ClusterServer(num_workers=1, worker_threads=1) as cluster:
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            ticket = cluster.submit(SPMM_EXPR, **spmm_operands)
+        with pytest.warns(DeprecationWarning, match=LEGACY):
+            (result,) = cluster.gather([ticket], timeout=120)
+    assert result.ok
+    assert result.unwrap().shape == (32, 8)
+
+
+def test_run_batch_is_not_deprecated(spmm_operands, recwarn):
+    """run_batch exposes no tickets and stays warning-free."""
+    with InsumServer(num_workers=2) as server:
+        results = server.run_batch([(SPMM_EXPR, dict(spmm_operands))] * 4)
+    assert all(result.ok for result in results)
+    assert not [w for w in recwarn if LEGACY in str(w.message)]

@@ -22,12 +22,12 @@ def test_server_auto_format_serves_mixed_regimes(rng):
         tickets = []
         for _ in range(4):
             tickets.append(
-                server.submit("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=rhs_uniform)
+                server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=uniform, B=rhs_uniform)
             )
             tickets.append(
-                server.submit("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(blocky), B=rhs_blocky)
+                server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(blocky), B=rhs_blocky)
             )
-        results = server.gather(tickets)
+        results = server.collect(tickets)
         for position, result in enumerate(results):
             expected = (uniform @ rhs_uniform) if position % 2 == 0 else (blocky @ rhs_blocky)
             np.testing.assert_allclose(result.unwrap(), expected)
@@ -44,7 +44,7 @@ def test_server_auto_format_dense_promotion_only_for_logical_expressions(rng):
     coo = COO.from_dense(dense)
     rhs = rng.standard_normal((48, 8))
     with InsumServer(num_workers=1, auto_format=True) as server:
-        ticket = server.submit(
+        ticket = server.enqueue(
             "C[AM[p],n] += AV[p] * B[AK[p],n]",
             C=np.zeros((64, 8)),
             AV=coo.values,
@@ -52,7 +52,7 @@ def test_server_auto_format_dense_promotion_only_for_logical_expressions(rng):
             AK=coo.coords[1],
             B=rhs,
         )
-        result = server.gather([ticket])[0]
+        result = server.collect([ticket])[0]
         np.testing.assert_allclose(result.unwrap(), dense @ rhs)
 
 
@@ -61,8 +61,8 @@ def test_server_sharding_with_dense_promotion(rng):
     dense = random_sparse_matrix((96, 80), 0.06, rng=7).astype(np.float64)
     rhs = rng.standard_normal((80, 8))
     with InsumServer(num_workers=1, num_shards=2, auto_format=True) as server:
-        ticket = server.submit("C[m,n] += A[m,k] * B[k,n]", A=dense, B=rhs)
-        result = server.gather([ticket])[0]
+        ticket = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=dense, B=rhs)
+        result = server.collect([ticket])[0]
         assert result.ok, result.error
         np.testing.assert_allclose(result.unwrap(), dense @ rhs)
 
@@ -73,10 +73,10 @@ def test_server_auto_format_composes_with_sharding(rng):
     rhs = rng.standard_normal((96, 8))
     with InsumServer(num_workers=2, num_shards=2, auto_format=True) as server:
         tickets = [
-            server.submit("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(dense), B=rhs)
+            server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(dense), B=rhs)
             for _ in range(3)
         ]
-        for result in server.gather(tickets):
+        for result in server.collect(tickets):
             np.testing.assert_allclose(result.unwrap(), dense @ rhs)
 
 
@@ -84,8 +84,8 @@ def test_server_without_auto_format_unchanged(rng):
     dense = random_sparse_matrix((64, 48), 0.1, rng=4).astype(np.float64)
     rhs = rng.standard_normal((48, 8))
     with InsumServer(num_workers=1) as server:
-        ticket = server.submit("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(dense), B=rhs)
-        np.testing.assert_allclose(server.gather([ticket])[0].unwrap(), dense @ rhs)
+        ticket = server.enqueue("C[m,n] += A[m,k] * B[k,n]", A=COO.from_dense(dense), B=rhs)
+        np.testing.assert_allclose(server.collect([ticket])[0].unwrap(), dense @ rhs)
 
 
 # ---------------------------------------------------------------------------
