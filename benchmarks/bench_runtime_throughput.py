@@ -16,9 +16,13 @@ compiler, so every PR from here on has a perf trajectory to beat:
 * One-shot ``insum()`` compile saving from the process-wide plan cache.
 * **cluster vs threaded** (``--cluster``) — an open-loop load generator
   drives the same mixed workload through ``Session(backend="cluster")``
-  and ``Session(backend="threaded")``, reporting req/s and p50/p95 for
-  both.  Skipped on single-core machines, where a process pool cannot
-  beat one GIL.
+  and ``Session(backend="threaded")``, reporting req/s and p50/p95/p99
+  for both.  Skipped on single-core machines, where a process pool
+  cannot beat one GIL.
+* **ops scrape** (smoke entry point) — serves a workload slice with the
+  :meth:`Session.serve_ops` endpoint up, scrapes ``/metrics`` and
+  ``/healthz`` once, and fails on malformed Prometheus text or an
+  unhealthy report (see ``docs/OBSERVABILITY.md``).
 
 All serving measurements run through the :class:`repro.serve.Session`
 front door (futures, :class:`ServeConfig`), so the benchmark covers the
@@ -152,7 +156,9 @@ def measure_server_modes(workload: list, rounds: int = 3) -> dict:
         "legacy_rps": round(legacy_stats.throughput_rps, 1),
         "speedup": round(engine.throughput_rps / legacy_stats.throughput_rps, 3),
         "engine_p50_ms": round(engine.p50_latency_ms, 4),
+        "engine_p99_ms": round(engine.p99_latency_ms, 4),
         "legacy_p50_ms": round(legacy_stats.p50_latency_ms, 4),
+        "legacy_p99_ms": round(legacy_stats.p99_latency_ms, 4),
         "hit_rate": round(engine.cache_hit_rate, 4),
         "coalesce_rate": round(engine.coalesce_rate, 4),
     }
@@ -230,13 +236,14 @@ def open_loop_load(session, workload: list, rate_rps: float | None = None) -> di
     for future in futures:
         future.result()  # raises on any failed request
     elapsed = time.perf_counter() - start
-    latencies = sorted(future.latency_ms for future in futures)
-    from repro.utils.timing import percentile
+    from repro.utils.timing import summarize
 
+    summary = summarize(future.latency_ms for future in futures)
     return {
         "rps": round(len(futures) / elapsed, 1),
-        "p50_ms": round(percentile(latencies, 50.0), 4),
-        "p95_ms": round(percentile(latencies, 95.0), 4),
+        "p50_ms": round(summary.p50_ms, 4),
+        "p95_ms": round(summary.p95_ms, 4),
+        "p99_ms": round(summary.p99_ms, 4),
     }
 
 
@@ -285,10 +292,48 @@ def measure_cluster_throughput(
         "speedup": round(cluster_best["rps"] / threaded_best["rps"], 3),
         "threaded_p50_ms": threaded_best["p50_ms"],
         "threaded_p95_ms": threaded_best["p95_ms"],
+        "threaded_p99_ms": threaded_best["p99_ms"],
         "cluster_p50_ms": cluster_best["p50_ms"],
         "cluster_p95_ms": cluster_best["p95_ms"],
+        "cluster_p99_ms": cluster_best["p99_ms"],
         "coalesce_rate": round(cluster_stats.coalesce_rate, 4),
         "restarts": cluster_stats.restarts,
+    }
+
+
+def scrape_ops_endpoint(workload: list, num_requests: int = 32) -> dict:
+    """Serve a workload slice with the ops endpoint up and scrape it once.
+
+    The CI smoke job's observability gate: ``/metrics`` must parse as
+    well-formed Prometheus text (``validate_prometheus_text``) and
+    ``/healthz`` must report ``status == "ok"`` — a malformed exposition
+    or an unhealthy pool raises ``RuntimeError`` and fails the build.
+    """
+    import urllib.request
+
+    from repro.obs.metrics import validate_prometheus_text
+
+    with Session(backend="threaded", config=ServeConfig(workers=4)) as session:
+        ops = session.serve_ops()
+        for future in session.submit_many(workload[:num_requests]):
+            future.result()
+        metrics_body = (
+            urllib.request.urlopen(ops.url("/metrics"), timeout=10).read().decode("utf-8")
+        )
+        health = json.loads(
+            urllib.request.urlopen(ops.url("/healthz"), timeout=10).read().decode("utf-8")
+        )
+    problems = validate_prometheus_text(metrics_body)
+    if problems:
+        raise RuntimeError(
+            "malformed Prometheus exposition from /metrics: " + "; ".join(problems)
+        )
+    if health.get("status") != "ok":
+        raise RuntimeError(f"/healthz reported unhealthy state: {health}")
+    return {
+        "metrics_bytes": len(metrics_body),
+        "metric_families": sum(1 for ln in metrics_body.splitlines() if ln.startswith("# TYPE")),
+        "health_status": health.get("status"),
     }
 
 
@@ -401,6 +446,7 @@ def test_cluster_vs_threaded_throughput(report, seed):
                 ["req/s", cluster["threaded_rps"], cluster["cluster_rps"]],
                 ["p50 ms", cluster["threaded_p50_ms"], cluster["cluster_p50_ms"]],
                 ["p95 ms", cluster["threaded_p95_ms"], cluster["cluster_p95_ms"]],
+                ["p99 ms", cluster["threaded_p99_ms"], cluster["cluster_p99_ms"]],
                 ["speedup", "", f"{cluster['speedup']}x"],
             ],
             title=(
@@ -542,6 +588,7 @@ def main(argv: list[str]) -> int:
     record: dict = {}
     record["server"] = measure_server_modes(build_workload(num_requests, seed=seed), rounds=3)
     record["single_op"] = measure_single_op_latency(repeats=repeats, seed=seed)
+    record["ops_scrape"] = scrape_ops_endpoint(build_workload(num_requests, seed=seed))
     if with_cluster:
         if (os.cpu_count() or 1) < 2:
             print("skipping --cluster: needs >= 2 cores for a meaningful comparison")

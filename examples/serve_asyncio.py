@@ -9,11 +9,16 @@ this offline environment): `handle_request` is written exactly like an
 aiohttp handler body, and `main` fires 64 concurrent "HTTP requests" at
 it.
 
+The last section is the ops side of the same deployment: scrape the
+session's Prometheus endpoint the way a collector would, and dump one
+request's trace to see where its latency went.
+
 Run with:  PYTHONPATH=src python examples/serve_asyncio.py
 """
 
 import asyncio
 import time
+import urllib.request
 
 import numpy as np
 
@@ -75,6 +80,32 @@ async def main() -> None:
         print(f"streamed {count} results via amap_batches")
 
         print(session.stats().summary())
+
+        # --- Observability: scrape /metrics, then dump one trace. ---------
+        # In production you'd set REPRO_OPS_PORT (or serve_ops(port=9100))
+        # and point Prometheus at it; here we bind an ephemeral port and
+        # scrape it ourselves.
+        ops = session.serve_ops()
+        with urllib.request.urlopen(ops.url("/metrics"), timeout=10) as response:
+            exposition = response.read().decode()
+        serve_lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("repro_serve_") and not line.startswith("#")
+        ]
+        print(f"\nscraped {ops.url('/metrics')}: "
+              f"{len(exposition.splitlines())} lines, e.g.")
+        for line in serve_lines[:4]:
+            print(f"  {line}")
+
+        # Every future carries its request's trace: named, non-overlapping
+        # spans from admission to response, across the process boundary.
+        future = session.submit(EXPRESSION, A=weights, B=payloads[0])
+        future.result(timeout=30)
+        trace = future.trace()
+        print(f"\ntrace {trace.trace_id} ({future.latency_ms:.2f} ms wall):")
+        for span in trace.spans():
+            meta = f"  {span.meta}" if span.meta else ""
+            print(f"  {span.name:<20} {span.duration_ms:8.3f} ms{meta}")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.cluster",
     "repro.serve",
+    "repro.obs",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

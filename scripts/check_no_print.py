@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print(`` calls in the library (``src/``).
+
+Library diagnostics go through ``repro.obs.logs.get_logger`` — where
+they pick up a level, a structured format, and the request's trace id —
+or they don't exist.  A ``print`` in ``src/`` is invisible to log
+collectors, cannot be silenced by level, and corrupts any caller using
+stdout as a data channel.
+
+The check is AST-based, not a grep: it flags only genuine calls to the
+``print`` builtin (``print(...)``), never identifiers that merely
+contain the substring (``fingerprint(...)``), methods (``obj.print()``),
+or mentions inside strings and comments.  ``file=`` redirections are
+flagged too — a library writing to stderr directly still bypasses the
+logging pipeline.
+
+Run from the repository root::
+
+    python scripts/check_no_print.py            # lints src/
+    python scripts/check_no_print.py some/dir   # lints another tree
+
+Exit status 0 when clean; 1 with a per-call report otherwise.
+Benchmarks, examples, scripts, and tests keep their prints: they are
+command-line programs whose stdout *is* the user interface.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def find_print_calls(path: Path) -> list[tuple[int, str]]:
+    """Return ``(line, context)`` for every bare ``print(...)`` call in a file.
+
+    Parameters
+    ----------
+    path:
+        Python source file to scan.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # a broken file is its own CI failure
+        return [(error.lineno or 0, f"unparsable: {error.msg}")]
+    lines = source.splitlines()
+    calls = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            context = lines[node.lineno - 1].strip() if node.lineno <= len(lines) else ""
+            calls.append((node.lineno, context))
+    return calls
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path("src")
+    if not root.exists():
+        print(f"no-print check FAILED: {root} does not exist")
+        return 1
+    problems: list[str] = []
+    files = sorted(root.rglob("*.py"))
+    for path in files:
+        for lineno, context in find_print_calls(path):
+            problems.append(f"{path}:{lineno}: {context}")
+    if problems:
+        print(f"no-print check FAILED ({len(problems)} bare print calls in {root}/):")
+        for problem in problems:
+            print(f"  - {problem}")
+        print("route diagnostics through repro.obs.logs.get_logger instead")
+        return 1
+    print(f"no-print check OK ({len(files)} files under {root}/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

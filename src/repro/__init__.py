@@ -29,6 +29,10 @@ Public API highlights
   :class:`repro.ServeConfig` and reporting a normalized
   :class:`repro.ServeStats` (see ``docs/API.md`` for migration from the
   legacy ticket API).
+* :mod:`repro.obs` — observability across every tier: the process-wide
+  metrics registry, per-request traces (``Future.trace()``), structured
+  JSON logs, and the ``/metrics`` / ``/healthz`` / ``/statsz`` ops HTTP
+  endpoint (``Session.serve_ops()``; see ``docs/OBSERVABILITY.md``).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
@@ -49,6 +53,7 @@ from repro.runtime import (
     configure_plan_cache,
     get_plan_cache,
 )
+from repro.obs import OpsServer, configure_logging, get_logger, get_registry
 from repro.serve import Future, ServeConfig, ServeStats, Session
 from repro.tuner import (
     CostModel,
@@ -57,7 +62,7 @@ from repro.tuner import (
     profile_operand,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ClusterBusyError",
@@ -89,5 +94,9 @@ __all__ = [
     "SparsityProfile",
     "auto_format",
     "profile_operand",
+    "OpsServer",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
     "__version__",
 ]

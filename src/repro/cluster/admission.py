@@ -23,6 +23,7 @@ import time
 # here because the admission module is where the error is raised and where
 # historical callers import it from.
 from repro.errors import ClusterBusyError
+from repro.obs.metrics import get_registry
 
 __all__ = ["AdmissionController", "ClusterBusyError"]
 
@@ -49,6 +50,14 @@ class AdmissionController:
         #: Exponential moving average of seconds per completed request,
         #: feeding the ``retry_after`` estimate.
         self._service_s = 0.01
+        registry = get_registry()
+        self._m_rejected = registry.counter(
+            "repro_admission_rejected_total",
+            "Submissions refused by cluster admission control.",
+        )
+        self._m_inflight = registry.gauge(
+            "repro_admission_inflight", "Requests currently admitted and not yet released."
+        )
 
     @property
     def inflight(self) -> int:
@@ -77,16 +86,19 @@ class AdmissionController:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is None or remaining <= 0:
                     self._rejected += 1
+                    self._m_rejected.inc()
                     raise ClusterBusyError(
                         self._inflight, self.max_inflight, max(0.001, self._service_s)
                     )
                 self._cond.wait(remaining)
             self._inflight += 1
+            self._m_inflight.set(self._inflight)
 
     def release(self, service_seconds: float | None = None) -> None:
         """Release one admitted request, optionally recording its service time."""
         with self._cond:
             self._inflight = max(0, self._inflight - 1)
+            self._m_inflight.set(self._inflight)
             if service_seconds is not None and service_seconds > 0:
                 self._service_s = 0.8 * self._service_s + 0.2 * service_seconds
             self._cond.notify()

@@ -30,7 +30,10 @@ class RequestEnvelope:
     :mod:`repro.cluster.codec`); ``release_to`` is the request ring
     cursor the worker stores after decoding every ring-borne operand.
     ``attempt`` counts dispatches of this request id (requeues after a
-    worker crash increment it).
+    worker crash increment it).  ``trace_id`` carries the parent's
+    request trace id (None when tracing is disabled); the worker
+    re-creates a trace under it and ships its stamps/spans back in the
+    response.
     """
 
     request_id: int
@@ -38,6 +41,7 @@ class RequestEnvelope:
     operands: dict[str, tuple] = field(default_factory=dict)
     release_to: int = 0
     attempt: int = 0
+    trace_id: str | None = None
 
 
 @dataclass
@@ -47,7 +51,9 @@ class ResponseEnvelope:
     Exactly one of ``result`` (a codec descriptor into the response
     ring, or an inline descriptor) and ``error`` is set.  ``worker_id``
     and ``incarnation`` let the parent ignore stale responses from a
-    worker generation it has already replaced.
+    worker generation it has already replaced.  ``trace`` is the
+    worker-side :meth:`repro.obs.trace.Trace.export` snapshot (stamps
+    and spans) when the request carried a trace id.
     """
 
     request_id: int
@@ -56,3 +62,4 @@ class ResponseEnvelope:
     result: tuple | None = None
     error: Any = None
     release_to: int = 0
+    trace: dict | None = None

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.engine.fingerprint import array_token
 from repro.formats.base import SparseFormat
+from repro.obs.metrics import get_registry
 
 #: Outstanding requests on a key's best worker before the key may spill.
 SPILL_THRESHOLD = 8
@@ -81,6 +82,10 @@ class Router:
         self.max_keys = max_keys
         self._assignment: OrderedDict[tuple, list[int]] = OrderedDict()
         self._lock = threading.Lock()
+        self._m_spills = get_registry().counter(
+            "repro_router_spills_total",
+            "Affinity keys spread onto an additional worker under load.",
+        )
 
     def route(self, key: tuple, load: list[int], exclude: int | None = None) -> int:
         """The worker for ``key``; first sight picks the least-loaded worker.
@@ -118,6 +123,7 @@ class Router:
             if 2 * load[spill] > load[best]:
                 return best  # nobody meaningfully idler — stay local
             self._assignment[key].append(spill)
+            self._m_spills.inc()
             return spill
 
     def forget_worker(self, worker_id: int) -> None:

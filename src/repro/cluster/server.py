@@ -55,6 +55,10 @@ from repro.cluster.shm import RingAborted, ShmRing
 from repro.cluster.stats import ClusterStats
 from repro.cluster.worker import worker_main
 from repro.errors import FutureCancelledError, SessionClosedError, WorkerCrashedError
+from repro.obs import resources as obs_resources
+from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, get_registry
 from repro.runtime.server import InsumResult, warn_legacy
 from repro.runtime.stats import RuntimeStats, build_stats
 from repro.runtime.plan_cache import PlanCacheStats
@@ -76,6 +80,7 @@ class _Dispatch:
     submitted_at: float
     attempt: int = 0
     exclude_worker: int | None = None
+    trace: Any = None
 
 
 @dataclass
@@ -116,6 +121,9 @@ class _WorkerHandle:
     outstanding: dict[int, _Inflight] = field(default_factory=dict)
     #: Serializes ring reads against restart-time unlinking.
     ring_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Resource samples taken by the monitor thread (newest last).
+    prev_sample: Any = None
+    last_sample: Any = None
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -232,8 +240,34 @@ class ClusterServer:
         self._latencies = LatencyRecorder()
         self._completed = 0
         self._failed = 0
+        self._cancelled = 0
         self._requeued = 0
         self._restarts = 0
+        self._log = get_logger("cluster.server")
+        registry = get_registry()
+        outcome_help = "Terminal request outcomes, by serving tier."
+        self._m_completed = registry.counter(
+            "repro_requests_total", outcome_help, backend="cluster", outcome="completed"
+        )
+        self._m_failed = registry.counter(
+            "repro_requests_total", outcome_help, backend="cluster", outcome="failed"
+        )
+        self._m_cancelled = registry.counter(
+            "repro_requests_total", outcome_help, backend="cluster", outcome="cancelled"
+        )
+        self._m_latency = registry.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency in milliseconds, by serving tier.",
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+            backend="cluster",
+        )
+        self._m_requeued = registry.counter(
+            "repro_requeued_total", "Requests redispatched after losing their worker."
+        )
+        self._m_restarts = registry.counter(
+            "repro_worker_restarts_total",
+            "Worker processes replaced by the health monitor.",
+        )
         self._window_started: float | None = None
         self._window_finished: float | None = None
         self._stats_serial = itertools.count(1)
@@ -341,6 +375,16 @@ class ClusterServer:
             self._loads[worker_id] = 0
             self._restarts += 1
         self.router.forget_worker(worker_id)
+        self._m_restarts.inc()
+        self._log.warning(
+            "restarting worker",
+            extra={
+                "worker": worker_id,
+                "incarnation": old.incarnation,
+                "pid": old.process.pid,
+                "stranded": len(stranded),
+            },
+        )
         replacement = self._start_worker(worker_id, incarnation=old.incarnation + 1)
         self._handles[worker_id] = replacement
         self._start_collector(replacement)
@@ -365,6 +409,7 @@ class ClusterServer:
             return
         with self._state:
             self._requeued += 1
+        self._m_requeued.inc()
         with self._dispatch_cv:
             self._dispatch.appendleft(dispatch)
             self._dispatch_cv.notify()
@@ -392,7 +437,12 @@ class ClusterServer:
         """
         if self._closed:
             raise SessionClosedError("ClusterServer is closed")
+        trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        if trace is not None:
+            trace.stamp("admission.enter")
         self.admission.acquire()
+        if trace is not None:
+            trace.stamp("admitted")
         request_id = next(self._ids)
         now = time.perf_counter()
         if self._window_started is None:
@@ -406,6 +456,7 @@ class ClusterServer:
                     expression=expression,
                     operands=operands,
                     submitted_at=now,
+                    trace=trace,
                 )
             )
             self._dispatch_cv.notify()
@@ -547,6 +598,10 @@ class ClusterServer:
                 self._requeue(dispatch, exclude_worker=dispatch.exclude_worker)
 
     def _dispatch_one(self, dispatch: _Dispatch) -> None:
+        if dispatch.trace is not None:
+            # Overwritten on redispatch: the trace describes the attempt
+            # that actually produced the result.
+            dispatch.trace.stamp("dispatch.start")
         key = affinity_key(dispatch.expression, dispatch.operands)
         with self._state:
             loads = list(self._loads)
@@ -568,6 +623,9 @@ class ClusterServer:
         except (RingAborted, TimeoutError):
             self._requeue(dispatch, exclude_worker=worker_id)
             return
+        if dispatch.trace is not None:
+            dispatch.trace.stamp("encode.done")
+            envelope.trace_id = dispatch.trace.trace_id
         with self._state:
             if handle.retired:
                 # A restart harvested this handle's outstanding map while
@@ -671,9 +729,30 @@ class ClusterServer:
                     self._requeue(inflight.dispatch, exclude_worker=response.worker_id)
                     return
                 error = decode_error
-        self._record(inflight.dispatch, output=output, error=error)
+        self._record(inflight.dispatch, output=output, error=error, trace_export=response.trace)
 
-    def _record(self, dispatch: _Dispatch, output=None, error=None) -> None:
+    def _finish_trace(self, dispatch: _Dispatch, trace_export: dict | None) -> Any:
+        """Merge the worker's trace export and build the parent-side spans.
+
+        The parent's spans tile the stretches the worker cannot see —
+        admission, dispatch queueing, operand encode, and both ring
+        crossings — between its own stamps and the worker's, so the full
+        span set covers the request's wall latency without overlap.
+        """
+        trace = dispatch.trace
+        if trace is None:
+            return None
+        trace.stamp("done")
+        if trace_export is not None:
+            trace.merge(trace_export)
+        trace.span_between("admission.wait", "admission.enter", "admitted")
+        trace.span_between("queue.dispatch", "admitted", "dispatch.start")
+        trace.span_between("codec.encode", "dispatch.start", "encode.done")
+        trace.span_between("ring.transit", "encode.done", "worker.receive")
+        trace.span_between("ring.respond", "worker.done", "done")
+        return trace
+
+    def _record(self, dispatch: _Dispatch, output=None, error=None, trace_export=None) -> None:
         """Publish one terminal result and update the serving counters."""
         finished = time.perf_counter()
         latency_ms = (finished - dispatch.submitted_at) * 1e3
@@ -683,26 +762,45 @@ class ClusterServer:
             output=output,
             error=error,
             latency_ms=latency_ms,
+            trace=self._finish_trace(dispatch, trace_export),
         )
         cancelled = isinstance(error, FutureCancelledError)
         if cancelled:
             self.admission.release()
+            self._m_cancelled.inc()
         else:
             self._latencies.record(latency_ms)
             self.admission.release(service_seconds=latency_ms / 1e3)
+            self._m_latency.observe(latency_ms)
         sink = self._result_sink
         with self._state:
             if sink is None:
                 self._results[dispatch.request_id] = result
             else:
                 self._pending.discard(dispatch.request_id)
-            if not cancelled:
+            if cancelled:
+                self._cancelled += 1
+            else:
                 if result.ok:
                     self._completed += 1
                 else:
                     self._failed += 1
                 self._window_finished = finished
             self._state.notify_all()
+        if not cancelled:
+            (self._m_completed if result.ok else self._m_failed).inc()
+            if not result.ok:
+                self._log.info(
+                    "request failed",
+                    extra={
+                        "request_id": dispatch.request_id,
+                        "expression": dispatch.expression,
+                        "error": repr(error),
+                        "trace_id": result.trace.trace_id if result.trace else None,
+                    },
+                )
+        if result.trace is not None:
+            obs_trace.maybe_log_trace(result.trace)
         if sink is not None:
             sink(result)
 
@@ -720,6 +818,70 @@ class ClusterServer:
                     last_beat = max(handle.resp_ring.heartbeat, handle.started_at)
                     if time.time() - last_beat > self.heartbeat_timeout:
                         self._restart_worker(worker_id)
+                        continue
+                self._sample_worker(handle)
+
+    def _sample_worker(self, handle: _WorkerHandle) -> None:
+        """Record one ``/proc`` RSS/CPU sample for a live worker."""
+        sample = obs_resources.sample_process(handle.process.pid)
+        if sample is None:
+            return
+        handle.prev_sample = handle.last_sample
+        handle.last_sample = sample
+        registry = get_registry()
+        label = str(handle.worker_id)
+        registry.gauge(
+            "repro_worker_rss_bytes", "Resident set size of each worker process.", worker=label
+        ).set(sample.rss_bytes)
+        registry.gauge(
+            "repro_worker_cpu_seconds",
+            "Cumulative CPU seconds (user + system) of each worker process.",
+            worker=label,
+        ).set(sample.cpu_seconds)
+
+    def health(self) -> dict[str, Any]:
+        """Liveness report for ``/healthz``: per-worker state and resources.
+
+        ``status`` is ``"ok"`` when every worker process is alive (and
+        ``"degraded"``/``"closed"`` otherwise); each worker entry carries
+        its pid, incarnation, heartbeat age, and the monitor thread's
+        latest RSS/CPU sample (None before the first sample lands).
+        """
+        now = time.time()
+        workers = []
+        all_alive = True
+        for handle in self._handles:
+            alive = handle.alive()
+            all_alive = all_alive and alive
+            try:
+                beat = max(handle.resp_ring.heartbeat, handle.started_at)
+                heartbeat_age = max(0.0, now - beat)
+            except Exception:  # noqa: BLE001 — ring may be mid-teardown
+                heartbeat_age = None
+            entry = {
+                "worker": handle.worker_id,
+                "pid": handle.process.pid,
+                "alive": alive,
+                "incarnation": handle.incarnation,
+                "heartbeat_age_s": heartbeat_age,
+                "resources": handle.last_sample.as_dict() if handle.last_sample else None,
+            }
+            sample, prev = handle.last_sample, handle.prev_sample
+            if sample is not None and prev is not None:
+                entry["cpu_percent"] = obs_resources.cpu_percent_between(prev, sample)
+            workers.append(entry)
+        with self._state:
+            restarts = self._restarts
+        status = "ok" if all_alive else "degraded"
+        if self._closed:
+            status = "closed"
+        return {
+            "status": status,
+            "backend": "cluster",
+            "restarts": restarts,
+            "inflight": self.admission.inflight,
+            "workers": workers,
+        }
 
     # -- reporting ----------------------------------------------------------
     def _collect_worker_stats(self, timeout: float = 2.0) -> dict[int, RuntimeStats]:
@@ -756,6 +918,8 @@ class ClusterServer:
             cache_misses=stats.cache_misses - base.cache_misses,
             coalesced_requests=stats.coalesced_requests - base.coalesced_requests,
             coalesced_batches=stats.coalesced_batches - base.coalesced_batches,
+            cancelled=stats.cancelled - base.cancelled,
+            p99_latency_ms=stats.p99_latency_ms,
         )
 
     def stats(self, worker_timeout: float = 2.0) -> ClusterStats:
@@ -777,6 +941,7 @@ class ClusterServer:
         )
         with self._state:
             completed, failed = self._completed, self._failed
+            cancelled = self._cancelled
             requeued, restarts = self._requeued, self._restarts
         aggregate = build_stats(
             completed,
@@ -786,6 +951,7 @@ class ClusterServer:
             cache_delta,
             coalesced_requests=sum(stats.coalesced_requests for stats in per_worker),
             coalesced_batches=sum(stats.coalesced_batches for stats in per_worker),
+            cancelled=cancelled,
         )
         return ClusterStats(
             aggregate=aggregate,
@@ -802,6 +968,7 @@ class ClusterServer:
         with self._state:
             self._completed = 0
             self._failed = 0
+            self._cancelled = 0
             self._requeued = 0
             self._restarts = 0
             self._window_started = None
@@ -863,6 +1030,7 @@ class ClusterServer:
                 handle.collector.join(timeout=5.0)
         for handle in self._handles:
             self._teardown_handle(handle)
+        self._log.info("ClusterServer closed", extra={"workers": self.num_workers})
 
     def __enter__(self) -> "ClusterServer":
         return self

@@ -51,6 +51,11 @@ class ClusterStats:
         """End-to-end p95 latency across the pool."""
         return self.aggregate.p95_latency_ms
 
+    @property
+    def p99_latency_ms(self) -> float:
+        """End-to-end p99 latency across the pool."""
+        return self.aggregate.p99_latency_ms
+
     def summary(self) -> str:
         """Multi-line human-readable report (pool, failure model, workers)."""
         lines = [

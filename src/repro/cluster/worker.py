@@ -31,11 +31,13 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from typing import Any
 
 from repro.cluster.codec import OperandDecoder, encode_result, portable_error
 from repro.cluster.messages import RequestEnvelope, ResponseEnvelope
 from repro.cluster.shm import ShmRing
+from repro.obs import trace as obs_trace
 
 
 def _reinit_after_fork() -> None:
@@ -51,6 +53,7 @@ def _reinit_after_fork() -> None:
     import repro.engine.fingerprint as fingerprint
     import repro.engine.flags as flags
     import repro.engine.paths as paths
+    import repro.obs.metrics as obs_metrics
     import repro.runtime.plan_cache as plan_cache
     import repro.tuner.calibration as calibration
 
@@ -62,6 +65,7 @@ def _reinit_after_fork() -> None:
     calibration._CALIBRATION_LOCK = threading.Lock()
     plan_cache._GLOBAL_LOCK = threading.Lock()
     plan_cache._GLOBAL_CACHE._lock = threading.RLock()
+    obs_metrics._reinit_after_fork()
 
 
 def _serve_batch(
@@ -77,10 +81,24 @@ def _serve_batch(
     """Decode, execute (as one inner-server batch), and answer ``batch``."""
     tickets: list[tuple[RequestEnvelope, int]] = []
     for envelope in batch:
+        received = time.time()
         try:
+            wtrace = None
+            if envelope.trace_id is not None:
+                # Re-create the parent's trace worker-side: stamp the ring
+                # arrival, span the decode, and park it for the inner
+                # server's enqueue (which runs on this thread) to claim.
+                wtrace = obs_trace.maybe_start(envelope.trace_id)
+            if wtrace is not None:
+                wtrace.stamp("worker.receive", received)
             operands = decoder.decode(envelope)
+            if wtrace is not None:
+                wtrace.stamp("decode.done")
+                wtrace.span_between("codec.decode", "worker.receive", "decode.done")
+                obs_trace.push_pending(wtrace)
             ticket = server.enqueue(envelope.expression, **operands)
         except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
+            obs_trace.take_pending()  # the enqueue never claimed it
             response_q.put(
                 ResponseEnvelope(
                     request_id=envelope.request_id,
@@ -113,6 +131,10 @@ def _serve_batch(
         except Exception as error:  # noqa: BLE001 — report, never crash the loop
             response.result = None
             response.error = portable_error(error)
+        if envelope.trace_id is not None and result.trace is not None:
+            result.trace.stamp("worker.done")
+            result.trace.span_between("codec.encode_result", "exec.end", "worker.done")
+            response.trace = result.trace.export()
         response_q.put(response)
         resp_ring.beat()
 

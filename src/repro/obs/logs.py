@@ -1,0 +1,159 @@
+"""Structured logging for the serving stack (stdlib ``logging`` + JSON).
+
+Every diagnostic in ``src/`` goes through a per-subsystem logger from
+:func:`get_logger` — never a bare ``print`` (a CI lint enforces this).
+The first logger request configures the ``repro`` root logger from the
+environment:
+
+* ``REPRO_LOG_LEVEL`` — standard level name (default ``WARNING``, so a
+  library import stays silent; deployments opt into ``INFO``/``DEBUG``).
+* ``REPRO_LOG_FORMAT`` — ``json`` (default; one JSON object per line,
+  machine-parseable) or ``text`` (human-readable single lines).
+
+JSON records carry ``ts`` / ``level`` / ``logger`` / ``message`` plus
+any extras the call site attached (``extra={"trace_id": ...}``), so a
+request's trace id joins every log line about it.  The handler attaches
+to the ``repro`` logger with ``propagate=False``; applications that
+configure handlers on ``repro`` themselves before first use are left
+alone.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from typing import Any
+
+__all__ = ["get_logger", "configure_logging", "JsonFormatter"]
+
+#: Environment variable naming the minimum level (e.g. ``INFO``).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+#: Environment variable selecting ``json`` or ``text`` output.
+LOG_FORMAT_ENV = "REPRO_LOG_FORMAT"
+
+#: LogRecord attributes that are plumbing, not user-attached extras.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+_configure_lock = threading.Lock()
+_configured = False
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Fields: ``ts`` (epoch seconds), ``level``, ``logger``, ``message``,
+    ``exc`` (formatted traceback, when present), and every extra the
+    call site attached via ``extra={...}``.  Values that JSON cannot
+    encode fall back to ``repr`` — a log line must never raise.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable single-line records, extras appended as ``key=value``."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extras = " ".join(
+            f"{key}={value!r}"
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED and not key.startswith("_")
+        )
+        return f"{base} {extras}" if extras else base
+
+
+def configure_logging(
+    level: str | int | None = None,
+    format: str | None = None,
+    stream: Any = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger (idempotent unless ``force``).
+
+    Called implicitly by the first :func:`get_logger`; call it directly
+    to override the environment from code (tests pass ``force=True`` and
+    a capture stream).
+
+    Parameters
+    ----------
+    level:
+        Minimum level name or number; defaults to ``REPRO_LOG_LEVEL``,
+        then ``WARNING``.
+    format:
+        ``"json"`` or ``"text"``; defaults to ``REPRO_LOG_FORMAT``, then
+        ``"json"``.
+    stream:
+        Destination stream for the attached handler (default stderr).
+    force:
+        Reconfigure even if already configured or if the application
+        attached its own handlers.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    with _configure_lock:
+        if _configured and not force:
+            return root
+        if root.handlers and not force:
+            # The application configured `repro` itself: respect it.
+            _configured = True
+            return root
+        if level is None:
+            level = os.environ.get(LOG_LEVEL_ENV, "WARNING")
+        if isinstance(level, str):
+            level = logging.getLevelName(level.upper())
+            if not isinstance(level, int):
+                level = logging.WARNING
+        if format is None:
+            format = os.environ.get(LOG_FORMAT_ENV, "json")
+        formatter: logging.Formatter = (
+            TextFormatter() if str(format).lower() == "text" else JsonFormatter()
+        )
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs", False):
+                root.removeHandler(handler)
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(formatter)
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _configured = True
+        return root
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The structured logger for one subsystem (``repro.<subsystem>``).
+
+    Ensures the ``repro`` root is configured (from the environment) on
+    first use, then returns a child logger — so ``get_logger("cluster")``
+    and ``get_logger("serve")`` share one handler and level but are
+    filterable by name.
+
+    Parameters
+    ----------
+    subsystem:
+        Dotted suffix under ``repro`` (``"cluster"``, ``"serve.ops"``).
+    """
+    if not _configured:
+        configure_logging()
+    return logging.getLogger(f"repro.{subsystem}")

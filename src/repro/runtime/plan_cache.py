@@ -20,7 +20,9 @@ change the generated code:
 server can report a meaningful hit rate.
 
 This module deliberately has no dependency on the compiler packages so it
-can be imported from ``repro.core.insum.api`` without cycles.
+can be imported from ``repro.core.insum.api`` without cycles
+(:mod:`repro.obs.metrics` is stdlib-only, so the registry counters the
+cache dual-writes keep that property).
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
+
+from repro.obs.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,16 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "repro_plan_cache_hits_total", "Plan-cache lookups served without compiling."
+        )
+        self._m_misses = registry.counter(
+            "repro_plan_cache_misses_total", "Plan-cache lookups that required a compile."
+        )
+        self._m_evictions = registry.counter(
+            "repro_plan_cache_evictions_total", "Plans evicted by the LRU bound."
+        )
 
     # -- core operations ----------------------------------------------------
     def get(self, key: Hashable) -> CachedPlan | None:
@@ -118,10 +132,11 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        (self._m_hits if entry is not None else self._m_misses).inc()
+        return entry
 
     def put(self, key: Hashable, entry: CachedPlan) -> CachedPlan:
         """Insert an entry, evicting the least-recently-used beyond maxsize.
@@ -130,6 +145,7 @@ class PlanCache:
         wins (so concurrent compiles of the same program converge on one
         kernel object).
         """
+        evicted = 0
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -139,7 +155,10 @@ class PlanCache:
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
-            return entry
+                evicted += 1
+        if evicted:
+            self._m_evictions.inc(evicted)
+        return entry
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -159,11 +178,15 @@ class PlanCache:
         """Change capacity, evicting LRU entries if the cache shrank."""
         if maxsize < 1:
             raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+        evicted = 0
         with self._lock:
             self._maxsize = int(maxsize)
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted:
+            self._m_evictions.inc(evicted)
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop all entries; optionally zero the counters as well."""

@@ -37,6 +37,9 @@ import numpy as np
 from repro.core.insum.api import Insum, SparseEinsum
 from repro.errors import FutureCancelledError, SessionClosedError
 from repro.formats.base import SparseFormat
+from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
 from repro.runtime.sharding import ShardedExecutor
 from repro.runtime.stats import RuntimeStats, ServingWindow
 
@@ -63,18 +66,25 @@ class InsumRequest:
     Created by :meth:`InsumServer.enqueue`; ``request_id`` is the ticket
     handed back to the caller and later passed to :meth:`InsumServer.collect`.
     ``submitted_at`` (a ``perf_counter`` timestamp) feeds the queue-delay
-    and end-to-end latency statistics.
+    and end-to-end latency statistics; ``trace`` is the request's
+    :class:`~repro.obs.trace.Trace` (None when tracing is disabled).
     """
 
     request_id: int
     expression: str
     operands: dict[str, Any]
     submitted_at: float
+    trace: Any = None
 
 
 @dataclass
 class InsumResult:
-    """Outcome of one request: either an output array or an error."""
+    """Outcome of one request: either an output array or an error.
+
+    ``trace`` carries the request's finalized
+    :class:`~repro.obs.trace.Trace` (span records included) when tracing
+    is enabled; :meth:`repro.serve.Future.trace` reads it.
+    """
 
     request_id: int
     expression: str
@@ -82,6 +92,7 @@ class InsumResult:
     error: BaseException | None = None
     latency_ms: float = 0.0
     queue_ms: float = 0.0
+    trace: Any = None
 
     @property
     def ok(self) -> bool:
@@ -431,10 +442,24 @@ class InsumServer:
         #: Tickets a worker has claimed for execution (guarded by _done).
         self._taken: set[int] = set()
         self._result_sink: Callable[[InsumResult], None] | None = None
-        self._window = ServingWindow()
+        self._window = ServingWindow(tier="threaded")
         self._coalesced_requests = 0
         self._coalesced_batches = 0
         self._closed = False
+        self._log = get_logger("runtime.server")
+        registry = get_registry()
+        self._m_coalesced_requests = registry.counter(
+            "repro_coalesced_requests_total",
+            "Requests served through a widened (stacked) batch.",
+        )
+        self._m_coalesced_batches = registry.counter(
+            "repro_coalesced_batches_total", "Widened (stacked) batches executed."
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_coalesce_batch_size",
+            "Requests per executed coalesced batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
 
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"insum-worker-{i}", daemon=True)
@@ -454,6 +479,7 @@ class InsumServer:
         for worker in self._workers:
             worker.join()
         self.executor.close()
+        self._log.info("InsumServer closed", extra={"workers": len(self._workers)})
 
     def __enter__(self) -> "InsumServer":
         return self
@@ -489,11 +515,15 @@ class InsumServer:
         """
         if self._closed:
             raise SessionClosedError("InsumServer is closed")
+        trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        if trace is not None:
+            trace.stamp("queued")
         request = InsumRequest(
             request_id=next(self._ids),
             expression=expression,
             operands=operands,
             submitted_at=time.perf_counter(),
+            trace=trace,
         )
         self._window.open_at(request.submitted_at)
         with self._done:
@@ -684,6 +714,7 @@ class InsumServer:
                     error=FutureCancelledError(
                         f"request {request.request_id} was cancelled before dispatch"
                     ),
+                    trace=request.trace,
                 )
             )
         return claimed
@@ -724,16 +755,33 @@ class InsumServer:
     def _process_one(self, request: InsumRequest) -> None:
         """Execute one request through the per-request path and record it."""
         started = time.perf_counter()
+        trace = request.trace
+        if trace is not None:
+            trace.stamp("exec.start")
         result = InsumResult(
             request_id=request.request_id,
             expression=request.expression,
             queue_ms=(started - request.submitted_at) * 1e3,
+            trace=trace,
         )
         try:
             result.output = self._execute(request)
         except Exception as error:  # noqa: BLE001 — a bad request must not kill the worker
             result.error = error
+            self._log.info(
+                "request failed",
+                extra={
+                    "request_id": request.request_id,
+                    "expression": request.expression,
+                    "error": repr(error),
+                    "trace_id": trace.trace_id if trace is not None else None,
+                },
+            )
         result.latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+        if trace is not None:
+            trace.stamp("exec.end")
+            trace.span_between("queue.wait", "queued", "exec.start")
+            trace.span_between("execute", "exec.start", "exec.end", coalesced=False)
         self._record(result)
 
     def _coalesce_ticket(self, request: InsumRequest):
@@ -762,6 +810,7 @@ class InsumServer:
         from repro.engine.coalesce import split_results, stack_group
 
         started = time.perf_counter()
+        exec_started = time.time()
         try:
             widened = self.executor.widened_for(requests[0].expression)
             if widened is None:
@@ -786,24 +835,45 @@ class InsumServer:
                 self._process_one(request)
             return
         finished = time.perf_counter()
+        exec_finished = time.time()
         with self._done:
             self._coalesced_batches += 1
             self._coalesced_requests += len(requests)
+        self._m_coalesced_batches.inc()
+        self._m_coalesced_requests.inc(len(requests))
+        self._m_batch_size.observe(len(requests))
         for request, output in zip(requests, outputs):
+            trace = request.trace
+            if trace is not None:
+                queued = trace.stamp_of("queued")
+                if queued is not None:
+                    trace.add_span("queue.wait", queued, exec_started)
+                trace.stamp("exec.end", exec_finished)
+                trace.add_span(
+                    "execute",
+                    exec_started,
+                    exec_finished,
+                    coalesced=True,
+                    batch_size=len(requests),
+                )
             result = InsumResult(
                 request_id=request.request_id,
                 expression=request.expression,
                 output=output,
                 queue_ms=(started - request.submitted_at) * 1e3,
                 latency_ms=(finished - request.submitted_at) * 1e3,
+                trace=trace,
             )
             self._record(result)
 
     def _record(self, result: InsumResult) -> None:
         """Publish one terminal result and update the serving counters."""
         finished = time.perf_counter()
-        if not isinstance(result.error, FutureCancelledError):
+        if isinstance(result.error, FutureCancelledError):
+            self._window.observe_cancelled()
+        else:
             self._window.observe(result.ok, result.latency_ms, finished)
+            obs_trace.maybe_log_trace(result.trace)
         sink = self._result_sink
         with self._done:
             self._taken.discard(result.request_id)
@@ -832,6 +902,19 @@ class InsumServer:
             self._coalesced_requests = 0
             self._coalesced_batches = 0
         self._window.reset()
+
+    def health(self) -> dict[str, Any]:
+        """Liveness report for ``/healthz``: per-worker thread aliveness."""
+        workers = [
+            {"worker": index, "alive": worker.is_alive()}
+            for index, worker in enumerate(self._workers)
+        ]
+        healthy = not self._closed and all(entry["alive"] for entry in workers)
+        return {
+            "status": "ok" if healthy else ("closed" if self._closed else "degraded"),
+            "backend": "threaded",
+            "workers": workers,
+        }
 
     @property
     def expressions_served(self) -> list[str]:

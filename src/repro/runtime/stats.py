@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, get_registry
 from repro.runtime.plan_cache import PlanCacheStats, get_plan_cache
 from repro.utils.timing import LatencyRecorder
 
@@ -29,6 +30,13 @@ class RuntimeStats:
     cache_misses: int
     coalesced_requests: int = 0
     coalesced_batches: int = 0
+    cancelled: int = 0
+    p99_latency_ms: float = 0.0
+
+    @property
+    def submitted(self) -> int:
+        """Every request with a terminal outcome: completed+failed+cancelled."""
+        return self.completed + self.failed + self.cancelled
 
     @property
     def throughput_rps(self) -> float:
@@ -56,10 +64,12 @@ class RuntimeStats:
         """Multi-line human-readable report (throughput, latency, cache)."""
         return "\n".join(
             [
-                f"requests   : {self.completed} completed, {self.failed} failed "
+                f"requests   : {self.completed} completed, {self.failed} failed, "
+                f"{self.cancelled} cancelled "
                 f"in {self.wall_seconds:.3f}s ({self.throughput_rps:.1f} req/s)",
                 f"latency    : p50 {self.p50_latency_ms:.3f} ms, "
                 f"p95 {self.p95_latency_ms:.3f} ms, "
+                f"p99 {self.p99_latency_ms:.3f} ms, "
                 f"mean {self.mean_latency_ms:.3f} ms, "
                 f"max {self.max_latency_ms:.3f} ms",
                 f"plan cache : {self.cache_hits} hits / {self.cache_misses} misses "
@@ -74,21 +84,53 @@ class ServingWindow:
     """Thread-safe request-window bookkeeping shared by serving backends.
 
     One instance carries everything a backend needs to report a
-    :class:`RuntimeStats` window — completed/failed counters, latency
-    samples, wall-clock bounds, and a plan-cache mark for the cache-hit
-    delta.  ``InsumServer`` and the serve tier's inline backend both
-    embed one, so the window semantics (what counts, how the wall clock
-    is bounded, what ``reset`` clears) live in exactly one place.
+    :class:`RuntimeStats` window — completed/failed/cancelled counters,
+    latency samples, wall-clock bounds, and a plan-cache mark for the
+    cache-hit delta.  ``InsumServer`` and the serve tier's inline backend
+    both embed one, so the window semantics (what counts, how the wall
+    clock is bounded, what ``reset`` clears) live in exactly one place.
+
+    Every observation is *dual-written*: into the window's own counters
+    (which ``reset`` clears, keeping :class:`RuntimeStats` windows
+    API-compatible) and into the process-wide metrics registry
+    (monotonic ``repro_requests_total`` / ``repro_request_latency_ms``
+    children labelled with this window's ``tier``), so ``/metrics``
+    reports cumulative truth across every window and server instance.
+
+    Parameters
+    ----------
+    tier:
+        The ``backend`` label on this window's registry children
+        (``"threaded"`` for ``InsumServer``, ``"inline"`` for the
+        inline backend).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tier: str = "threaded") -> None:
         self._lock = threading.Lock()
         self._latencies = LatencyRecorder()
         self._completed = 0
         self._failed = 0
+        self._cancelled = 0
         self._started: float | None = None
         self._finished: float | None = None
         self._cache_mark: PlanCacheStats = get_plan_cache().stats()
+        registry = get_registry()
+        outcome_help = "Terminal request outcomes, by serving tier."
+        self._m_completed = registry.counter(
+            "repro_requests_total", outcome_help, backend=tier, outcome="completed"
+        )
+        self._m_failed = registry.counter(
+            "repro_requests_total", outcome_help, backend=tier, outcome="failed"
+        )
+        self._m_cancelled = registry.counter(
+            "repro_requests_total", outcome_help, backend=tier, outcome="cancelled"
+        )
+        self._m_latency = registry.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency in milliseconds, by serving tier.",
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+            backend=tier,
+        )
 
     def open_at(self, timestamp: float) -> None:
         """Record the window's first submission time (later calls no-op)."""
@@ -113,6 +155,14 @@ class ServingWindow:
             else:
                 self._failed += 1
             self._finished = finished_at
+        (self._m_completed if ok else self._m_failed).inc()
+        self._m_latency.observe(latency_ms)
+
+    def observe_cancelled(self) -> None:
+        """Account one request cancelled before dispatch (no latency sample)."""
+        with self._lock:
+            self._cancelled += 1
+        self._m_cancelled.inc()
 
     def snapshot(
         self,
@@ -144,13 +194,19 @@ class ServingWindow:
                 cache_delta,
                 coalesced_requests=coalesced_requests,
                 coalesced_batches=coalesced_batches,
+                cancelled=self._cancelled,
             )
 
     def reset(self) -> None:
-        """Start a fresh window (counters, latencies, wall clock, cache mark)."""
+        """Start a fresh window (counters, latencies, wall clock, cache mark).
+
+        Only the window's own view resets — the registry children it
+        dual-writes are monotonic by contract and keep counting.
+        """
         with self._lock:
             self._completed = 0
             self._failed = 0
+            self._cancelled = 0
             self._started = None
             self._finished = None
         self._latencies.reset()
@@ -165,33 +221,38 @@ def build_stats(
     cache_delta: PlanCacheStats,
     coalesced_requests: int = 0,
     coalesced_batches: int = 0,
+    cancelled: int = 0,
 ) -> RuntimeStats:
     """Assemble a :class:`RuntimeStats` from the server's raw collectors.
 
     Parameters
     ----------
-    completed / failed:
+    completed / failed / cancelled:
         Request counters over the window.
     wall_seconds:
         Serving wall-clock covered by the window.
     latencies:
-        Per-request latency samples.
+        Per-request latency samples (summarized once, through
+        :func:`repro.utils.timing.summarize`).
     cache_delta:
         Plan-cache counter delta over the window.
     coalesced_requests / coalesced_batches:
         How many requests were served through coalesced batches, and how
         many batches those were.
     """
+    summary = latencies.summary()
     return RuntimeStats(
         completed=completed,
         failed=failed,
         wall_seconds=wall_seconds,
-        p50_latency_ms=latencies.p50_ms(),
-        p95_latency_ms=latencies.p95_ms(),
-        mean_latency_ms=latencies.mean_ms(),
-        max_latency_ms=latencies.max_ms(),
+        p50_latency_ms=summary.p50_ms,
+        p95_latency_ms=summary.p95_ms,
+        p99_latency_ms=summary.p99_ms,
+        mean_latency_ms=summary.mean_ms,
+        max_latency_ms=summary.max_ms,
         cache_hits=cache_delta.hits,
         cache_misses=cache_delta.misses,
         coalesced_requests=coalesced_requests,
         coalesced_batches=coalesced_batches,
+        cancelled=cancelled,
     )

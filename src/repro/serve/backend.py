@@ -17,6 +17,7 @@ import itertools
 import time
 from typing import Any, Callable, Protocol, runtime_checkable
 
+from repro.obs import trace as obs_trace
 from repro.runtime.server import InsumResult, RequestExecutor
 from repro.runtime.stats import RuntimeStats, ServingWindow
 from repro.serve.config import ServeConfig
@@ -76,7 +77,7 @@ class InlineBackend:
         self._ids = itertools.count()
         self._sink: ResultSink | None = None
         self._results: dict[int, InsumResult] = {}
-        self._window = ServingWindow()
+        self._window = ServingWindow(tier="inline")
         self._closed = False
 
     def enqueue(self, expression: str, **operands: Any) -> int:
@@ -86,15 +87,23 @@ class InlineBackend:
         if self._closed:
             raise SessionClosedError("inline backend is closed")
         request_id = next(self._ids)
+        trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        if trace is not None:
+            trace.stamp("exec.start")
         started = time.perf_counter()
         self._window.open_at(started)
-        result = InsumResult(request_id=request_id, expression=expression)
+        result = InsumResult(request_id=request_id, expression=expression, trace=trace)
         try:
             result.output = self._executor.execute(expression, operands)
         except Exception as error:  # noqa: BLE001 — delivered through the result
             result.error = error
         finished = time.perf_counter()
         result.latency_ms = (finished - started) * 1e3
+        if trace is not None:
+            trace.stamp("exec.end")
+            trace.span_between("queue.wait", "submit", "exec.start")
+            trace.span_between("execute", "exec.start", "exec.end", coalesced=False)
+            obs_trace.maybe_log_trace(trace)
         self._window.observe(result.ok, result.latency_ms, finished)
         if self._sink is not None:
             self._sink(result)
@@ -123,6 +132,14 @@ class InlineBackend:
     def reset_stats(self) -> None:
         """Start a fresh measurement window (counters, latencies, cache mark)."""
         self._window.reset()
+
+    def health(self) -> dict[str, Any]:
+        """Liveness report for ``/healthz`` (inline: the caller's thread)."""
+        return {
+            "status": "closed" if self._closed else "ok",
+            "backend": "inline",
+            "workers": [],
+        }
 
     def close(self) -> None:
         """Release the executor (and its sharded thread pool, if any)."""

@@ -61,6 +61,16 @@ class Future:
         record = self._record
         return record.latency_ms if record is not None else None
 
+    def trace(self) -> Any:
+        """The request's :class:`~repro.obs.trace.Trace` (None until done).
+
+        Populated once the future resolves, when tracing is enabled
+        (``REPRO_TRACE``): span records covering queue wait, execution,
+        and — on the cluster tier — admission, codec, and ring crossings.
+        """
+        record = self._record
+        return record.trace if record is not None else None
+
     def done(self) -> bool:
         """True once the future is resolved (result, error, or cancelled)."""
         with self._cond:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import os
 import threading
 from collections import deque
 from typing import Any, AsyncIterator, Iterable, Iterator
@@ -35,6 +36,10 @@ import numpy as np
 
 from repro.cluster.stats import ClusterStats
 from repro.errors import ServeError, SessionClosedError
+from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.ops import OPS_PORT_ENV, OpsServer
 from repro.runtime.server import InsumResult
 from repro.serve.backend import ExecutorBackend, build_backend
 from repro.serve.config import ServeConfig
@@ -77,8 +82,19 @@ class Session:
         #: can beat the mapping too).
         self._early: dict[int, InsumResult] = {}
         self._closed = False
+        self._ops: OpsServer | None = None
+        self._log = get_logger("serve.session")
         self._backend: ExecutorBackend = build_backend(backend, config)
         self._backend.set_result_sink(self._on_result)
+        port_env = os.environ.get(OPS_PORT_ENV, "").strip()
+        if port_env:
+            try:
+                self.serve_ops(port=int(port_env))
+            except Exception as error:  # noqa: BLE001 — ops is best-effort, never fatal
+                self._log.warning(
+                    "could not start ops endpoint",
+                    extra={"port": port_env, "error": repr(error)},
+                )
 
     @classmethod
     def from_env(cls, environ: Any = None) -> "Session":
@@ -131,11 +147,19 @@ class Session:
         if self._closed:
             raise SessionClosedError("Session is closed")
         future = Future(self)
+        trace = obs_trace.maybe_start()
+        if trace is not None:
+            # Parked thread-locally for the backend's enqueue (same
+            # thread) to claim; cleared below if enqueue never did.
+            trace.stamp("submit")
+            obs_trace.push_pending(trace)
         try:
             ticket = self._backend.enqueue(expression, **operands)
         except SessionClosedError:
+            obs_trace.take_pending()
             raise
         except ServeError as error:
+            obs_trace.take_pending()
             future._reject(error)
             return future
         future._ticket = ticket
@@ -310,6 +334,9 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        if self._ops is not None:
+            self._ops.stop()
+            self._ops = None
         try:
             self.drain(timeout)
         finally:
@@ -338,3 +365,87 @@ class Session:
     def reset_stats(self) -> None:
         """Start a fresh measurement window on the backend."""
         self._backend.reset_stats()
+
+    def health(self) -> dict[str, Any]:
+        """Backend liveness: the ops endpoint's ``/healthz`` body.
+
+        All tiers report ``status`` (``"ok"`` / ``"degraded"`` /
+        ``"closed"``) and a ``workers`` list; the cluster tier adds
+        per-worker pids, heartbeat ages, restart counts, and the health
+        monitor's latest RSS/CPU samples.
+        """
+        probe = getattr(self._backend, "health", None)
+        if probe is None:
+            return {
+                "status": "closed" if self._closed else "ok",
+                "backend": self._backend_name,
+                "workers": [],
+            }
+        report = probe()
+        if self._closed:
+            report = dict(report, status="closed")
+        return report
+
+    def publish_metrics(self) -> None:
+        """Refresh the ``repro_serve_*`` gauges from this session's stats.
+
+        Called by the ops endpoint before each ``/metrics`` render.  The
+        cluster tier's plan-cache and coalescing counters live inside the
+        worker *processes* — outside the parent's registry — so this is
+        how they (and the normalized window as a whole) reach Prometheus:
+        gauges snapshotting :meth:`stats`, labelled with the backend.
+        """
+        stats = self.stats()
+        registry = get_registry()
+        values: dict[str, float] = {
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+            "plan_cache_hits": stats.cache_hits,
+            "plan_cache_misses": stats.cache_misses,
+            "plan_cache_hit_rate": stats.cache_hit_rate,
+            "coalesced_requests": stats.coalesced_requests,
+            "coalesced_batches": stats.coalesced_batches,
+            "coalesce_rate": stats.coalesce_rate,
+            "rejected": stats.rejected,
+            "requeued": stats.requeued,
+            "restarts": stats.restarts,
+            "p50_latency_ms": stats.p50_latency_ms,
+            "p95_latency_ms": stats.p95_latency_ms,
+            "p99_latency_ms": stats.p99_latency_ms,
+            "throughput_rps": stats.throughput_rps,
+        }
+        for field, value in values.items():
+            registry.gauge(
+                f"repro_serve_{field}",
+                "Session-window ServeStats snapshot, refreshed per /metrics scrape.",
+                backend=self._backend_name,
+            ).set(float(value))
+
+    def serve_ops(self, port: int = 0, host: str = "127.0.0.1") -> OpsServer:
+        """Start (or return) this session's ops HTTP endpoint.
+
+        Serves ``/metrics`` (Prometheus text), ``/healthz`` (JSON
+        liveness), and ``/statsz`` (the normalized :class:`ServeStats`)
+        on a daemon thread.  Also started automatically when the
+        ``REPRO_OPS_PORT`` environment variable is set.
+
+        Parameters
+        ----------
+        port:
+            TCP port to bind; 0 picks an ephemeral port (read it back
+            from ``server.port``).
+        host:
+            Bind address (loopback by default — front it with a real
+            proxy before exposing it).
+        """
+        if self._closed:
+            raise SessionClosedError("Session is closed")
+        if self._ops is None:
+            self._ops = OpsServer(session=self, host=host, port=port)
+            self._ops.start()
+            self._log.info(
+                "ops endpoint listening",
+                extra={"host": host, "port": self._ops.port, "backend": self._backend_name},
+            )
+        return self._ops

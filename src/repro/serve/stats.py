@@ -11,7 +11,7 @@ flattens all three into one field set so code written against
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.cluster.stats import ClusterStats
 from repro.runtime.stats import RuntimeStats
@@ -45,11 +45,18 @@ class ServeStats:
     requeued: int = 0
     restarts: int = 0
     per_worker: tuple[RuntimeStats, ...] = ()
+    cancelled: int = 0
+    p99_latency_ms: float = 0.0
 
     @property
     def throughput_rps(self) -> float:
         """Completed requests per second of wall-clock serving time."""
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def submitted(self) -> int:
+        """Every request that reached a terminal state in this window."""
+        return self.completed + self.failed + self.cancelled
 
     @property
     def cache_hit_rate(self) -> float:
@@ -72,10 +79,12 @@ class ServeStats:
         """Multi-line human-readable report (throughput, latency, cache)."""
         lines = [
             f"backend    : {self.backend} ({self.workers} workers)",
-            f"requests   : {self.completed} completed, {self.failed} failed "
+            f"requests   : {self.completed} completed, {self.failed} failed, "
+            f"{self.cancelled} cancelled "
             f"in {self.wall_seconds:.3f}s ({self.throughput_rps:.1f} req/s)",
             f"latency    : p50 {self.p50_latency_ms:.3f} ms, "
             f"p95 {self.p95_latency_ms:.3f} ms, "
+            f"p99 {self.p99_latency_ms:.3f} ms, "
             f"mean {self.mean_latency_ms:.3f} ms, "
             f"max {self.max_latency_ms:.3f} ms",
             f"plan cache : {self.cache_hits} hits / {self.cache_misses} misses "
@@ -89,6 +98,16 @@ class ServeStats:
                 f"{self.restarts} restarts"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (the ops endpoint's ``/statsz`` body)."""
+        payload = asdict(self)
+        payload["per_worker"] = [asdict(stats) for stats in self.per_worker]
+        payload["throughput_rps"] = self.throughput_rps
+        payload["cache_hit_rate"] = self.cache_hit_rate
+        payload["coalesce_rate"] = self.coalesce_rate
+        payload["submitted"] = self.submitted
+        return payload
 
     @classmethod
     def from_runtime(cls, stats: RuntimeStats, backend: str, workers: int) -> "ServeStats":
@@ -117,6 +136,8 @@ class ServeStats:
             cache_misses=stats.cache_misses,
             coalesced_requests=stats.coalesced_requests,
             coalesced_batches=stats.coalesced_batches,
+            cancelled=stats.cancelled,
+            p99_latency_ms=stats.p99_latency_ms,
         )
 
     @classmethod
@@ -141,4 +162,6 @@ class ServeStats:
             requeued=stats.requeued,
             restarts=stats.restarts,
             per_worker=stats.per_worker,
+            cancelled=aggregate.cancelled,
+            p99_latency_ms=aggregate.p99_latency_ms,
         )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats.base import SparseFormat
+from repro.obs.metrics import get_registry
 from repro.tuner.candidates import Candidate, ScoredCandidate, enumerate_candidates
 from repro.tuner.cost_model import CostModel, TunerError
 from repro.tuner.profile import SparsityProfile, profile_operand
@@ -104,6 +105,14 @@ class DecisionCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        registry = get_registry()
+        decision_help = "Tuner decision-cache lookups, by outcome."
+        self._m_hits = registry.counter(
+            "repro_tuner_decisions_total", decision_help, outcome="hit"
+        )
+        self._m_misses = registry.counter(
+            "repro_tuner_decisions_total", decision_help, outcome="miss"
+        )
 
     def get(self, bucket: tuple) -> TunerDecision | None:
         """Look up a cached decision, counting a hit or a miss."""
@@ -114,7 +123,8 @@ class DecisionCache:
             else:
                 self._decisions.move_to_end(bucket)
                 self._hits += 1
-            return decision
+        (self._m_hits if decision is not None else self._m_misses).inc()
+        return decision
 
     def put(self, decision: TunerDecision) -> TunerDecision:
         """Insert a decision (first writer wins, as with the plan cache)."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Sequence
 
 
@@ -58,11 +59,53 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return float(values[low] * (1.0 - fraction) + values[high] * fraction)
 
 
+@dataclass(frozen=True)
+class LatencySummary:
+    """The canonical latency report: p50/p95/p99/mean/max over a window.
+
+    Every place the repository reports latency percentiles — the three
+    stats dataclasses, the benchmark JSON — builds one of these through
+    :func:`summarize`, so the percentile method (and the set of reported
+    quantiles) is defined exactly once.
+    """
+
+    count: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    max_ms: float = 0.0
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Summarize latency samples (milliseconds) into a :class:`LatencySummary`.
+
+    One sort serves all three percentiles; an empty sample set yields an
+    all-zero summary so idle-window reports degrade gracefully.
+
+    Parameters
+    ----------
+    samples:
+        Per-request latencies in milliseconds, any order.
+    """
+    values = sorted(float(sample) for sample in samples)
+    if not values:
+        return LatencySummary()
+    return LatencySummary(
+        count=len(values),
+        p50_ms=percentile(values, 50.0),
+        p95_ms=percentile(values, 95.0),
+        p99_ms=percentile(values, 99.0),
+        mean_ms=sum(values) / len(values),
+        max_ms=values[-1],
+    )
+
+
 class LatencyRecorder:
     """Thread-safe collector of per-request latencies (milliseconds).
 
     The serving runtime records one sample per completed request and
-    reports p50/p95 through :func:`percentile`.
+    reports p50/p95/p99 through :func:`summarize`.
     """
 
     def __init__(self) -> None:
@@ -86,11 +129,18 @@ class LatencyRecorder:
         with self._lock:
             self._samples.clear()
 
+    def summary(self) -> LatencySummary:
+        """The canonical p50/p95/p99/mean/max summary of the samples so far."""
+        return summarize(self.samples())
+
     def p50_ms(self) -> float:
         return percentile(self.samples(), 50.0)
 
     def p95_ms(self) -> float:
         return percentile(self.samples(), 95.0)
+
+    def p99_ms(self) -> float:
+        return percentile(self.samples(), 99.0)
 
     def mean_ms(self) -> float:
         samples = self.samples()

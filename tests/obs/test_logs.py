@@ -1,0 +1,96 @@
+"""Structured logging: JSON schema, extras, and idempotent configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logs import JsonFormatter, TextFormatter, configure_logging, get_logger
+
+
+def capture(format: str = "json", level: str = "DEBUG") -> io.StringIO:
+    stream = io.StringIO()
+    configure_logging(level=level, format=format, stream=stream, force=True)
+    return stream
+
+
+def restore_defaults() -> None:
+    configure_logging(force=True)
+
+
+def test_json_records_carry_schema_and_extras():
+    stream = capture()
+    try:
+        get_logger("testsub").info(
+            "request failed", extra={"trace_id": "t-9", "request_id": 4}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.testsub"
+        assert record["message"] == "request failed"
+        assert record["trace_id"] == "t-9" and record["request_id"] == 4
+        assert isinstance(record["ts"], float)
+    finally:
+        restore_defaults()
+
+
+def test_json_formatter_never_raises_on_unserializable_extras():
+    formatter = JsonFormatter()
+    record = logging.LogRecord("repro.x", logging.WARNING, __file__, 1, "msg", (), None)
+    record.payload = object()  # json.dumps would choke without default=repr
+    parsed = json.loads(formatter.format(record))
+    assert parsed["payload"].startswith("<object object")
+
+
+def test_json_records_include_formatted_exceptions():
+    stream = capture()
+    try:
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("testsub").exception("it failed")
+        record = json.loads(stream.getvalue())
+        assert "ValueError: boom" in record["exc"]
+    finally:
+        restore_defaults()
+
+
+def test_text_format_appends_extras():
+    stream = capture(format="text")
+    try:
+        get_logger("testsub").warning("spilled", extra={"worker": 3})
+        line = stream.getvalue()
+        assert "spilled" in line and "worker=3" in line
+        assert not line.lstrip().startswith("{")
+    finally:
+        restore_defaults()
+
+
+def test_default_level_keeps_libraries_quiet():
+    stream = io.StringIO()
+    root = configure_logging(stream=stream, force=True)  # env default: WARNING
+    try:
+        assert root.level == logging.WARNING
+        get_logger("testsub").info("should not appear")
+        assert stream.getvalue() == ""
+    finally:
+        restore_defaults()
+
+
+def test_configure_is_idempotent_without_force():
+    root = configure_logging(level="ERROR", format="text", force=True)
+    try:
+        handler_count = len(root.handlers)
+        again = configure_logging(level="DEBUG")  # ignored: already configured
+        assert again is root
+        assert len(root.handlers) == handler_count
+        assert root.level == logging.ERROR
+    finally:
+        restore_defaults()
+
+
+def test_text_formatter_is_single_line():
+    formatter = TextFormatter()
+    record = logging.LogRecord("repro.y", logging.INFO, __file__, 1, "hello", (), None)
+    assert "\n" not in formatter.format(record)

@@ -56,8 +56,12 @@ def test_stats_are_normalized_across_backends(per_backend_results, serve_workloa
         assert stats.failed == 0
         assert stats.wall_seconds > 0
         assert stats.throughput_rps > 0
-        assert stats.p95_latency_ms >= stats.p50_latency_ms >= 0
+        assert stats.p99_latency_ms >= stats.p95_latency_ms >= stats.p50_latency_ms >= 0
         assert stats.cache_hits + stats.cache_misses > 0
+        # Every terminal outcome is accounted for, on every backend.
+        assert stats.cancelled == 0
+        assert stats.completed + stats.failed + stats.cancelled == stats.submitted
+        assert stats.submitted == len(serve_workload)
         # Cluster-only counters exist (and are zero) on every backend.
         assert stats.rejected == 0 and stats.requeued == 0
         summary = stats.summary()
