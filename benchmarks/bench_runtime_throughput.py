@@ -23,6 +23,10 @@ compiler, so every PR from here on has a perf trajectory to beat:
   :meth:`Session.serve_ops` endpoint up, scrapes ``/metrics`` and
   ``/healthz`` once, and fails on malformed Prometheus text or an
   unhealthy report (see ``docs/OBSERVABILITY.md``).
+* **trace replay** (``--trace FILE``) — replays a committed workload
+  trace (``docs/REPLAY.md``) open-loop through the cluster backend and
+  records the ``SLOReport``; the smoke gate holds ``slo_attainment``
+  to an absolute floor next to the speedup-ratio checks.
 
 All serving measurements run through the :class:`repro.serve.Session`
 front door (futures, :class:`ServeConfig`), so the benchmark covers the
@@ -35,8 +39,9 @@ workload via ``python benchmarks/bench_runtime_throughput.py --smoke`` and
 regresses by more than 25% against the committed baseline.
 
 Determinism: every RNG stream derives from one base seed (the ``--seed``
-flag here, the ``seed`` fixture under pytest), so the smoke gate measures
-the same workload run-to-run.
+flag here, the ``seed`` fixture under pytest) through named
+:func:`repro.utils.rng` streams — no global RNG is ever seeded — so the
+smoke gate measures the same workload run-to-run.
 """
 
 from __future__ import annotations
@@ -44,7 +49,6 @@ from __future__ import annotations
 import contextlib
 import json
 import os
-import random
 import sys
 import time
 from pathlib import Path
@@ -57,22 +61,22 @@ from repro.core.inductor.config import InductorConfig
 from repro.engine import legacy_mode
 from repro.formats import COO, GroupCOO
 from repro.kernels import BatchedSpMM, FullyConnectedTensorProduct
+from repro.utils.rng import rng as rng_stream
 from repro.utils.timing import Timer
 
 NUM_REQUESTS = 160
 STACK_SIZE = 32
 DEFAULT_SEED = 7
 RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_runtime.json"
+DEFAULT_TRACE = Path(__file__).parent / "traces" / "mixed_smoke.jsonl"
+
+#: Absolute floors for trace-replay metrics (dotted paths into "metrics"),
+#: enforced by scripts/check_bench_regression.py when a replay ran.
+ATTAINMENT_KEYS = {"replay.slo_attainment": 0.99}
 
 #: Collected across the tests in this module, flushed to RESULTS_JSON by
 #: the final test (and by the --smoke entry point).
 RECORD: dict = {}
-
-
-def seed_everything(seed: int) -> None:
-    """Seed the legacy global RNGs; per-stream generators derive from ``seed``."""
-    random.seed(seed)
-    np.random.seed(seed % (2**32))
 
 
 # ---------------------------------------------------------------------------
@@ -87,7 +91,7 @@ def build_workload(num_requests: int = NUM_REQUESTS, seed: int = DEFAULT_SEED) -
     equivariant tensor-product request every 8th slot exercising the raw
     indirect-Einsum path.
     """
-    rng = np.random.default_rng(seed)
+    rng = rng_stream(seed, "bench/workload")
     spmm_small = GroupCOO.from_dense(
         np.where(rng.random((128, 192)) < 0.05, rng.standard_normal((128, 192)), 0.0),
         group_size=4,
@@ -177,7 +181,7 @@ def _warm_call_seconds(operator, operands: dict, repeats: int, rounds: int = 3) 
 
 def measure_single_op_latency(repeats: int = 150, seed: int = DEFAULT_SEED) -> dict:
     """Warm per-call latency, engine vs legacy, for representative operators."""
-    rng = np.random.default_rng(seed + 11)
+    rng = rng_stream(seed, "bench/single-op")
     spmm_dense = np.where(rng.random((256, 256)) < 0.03, rng.standard_normal((256, 256)), 0.0)
     coo_dense = np.where(rng.random((256, 256)) < 0.05, rng.standard_normal((256, 256)), 0.0)
     cases = {
@@ -337,6 +341,42 @@ def scrape_ops_endpoint(workload: list, num_requests: int = 32) -> dict:
     }
 
 
+def measure_trace_replay(trace_path: Path, backend: str | None = None) -> dict:
+    """Replay a committed workload trace open-loop; report SLO attainment.
+
+    Digests are refreshed on this machine first (result bits depend on
+    the local BLAS — see ``docs/REPLAY.md``), then the trace is replayed
+    in real time through an uncoalesced session so every result digest
+    is verified.  The returned section carries ``slo_attainment``, which
+    the regression gate holds to the :data:`ATTAINMENT_KEYS` floor.
+    """
+    from repro.replay import read_trace, replay
+
+    if backend is None:
+        backend = "cluster" if (os.cpu_count() or 1) >= 2 else "threaded"
+    trace = read_trace(trace_path)
+    trace.refresh_digests()
+    config = ServeConfig(workers=2, coalesce=False)
+    with Session(backend=backend, config=config) as session:
+        report = replay(trace, session, time_scale=1.0)
+    problems = report.invariant_violations()
+    if problems:
+        raise RuntimeError(f"trace replay violated invariants: {problems}")
+    summary = report.to_dict()
+    return {
+        "trace": report.trace_name,
+        "backend": report.backend,
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "failed": report.failed,
+        "digest_checked": report.digest_checked,
+        "slo_attainment": summary["slo_attainment"],
+        "goodput_rps": summary["goodput_rps"],
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p99_ms": summary["latency_ms"]["p99"],
+    }
+
+
 def write_bench_json(record: dict, path: Path = RESULTS_JSON, profile: str = "full") -> None:
     """Write the machine-readable benchmark record (see docs/PERFORMANCE.md)."""
     payload = {
@@ -352,6 +392,10 @@ def write_bench_json(record: dict, path: Path = RESULTS_JSON, profile: str = "fu
             "one_shot.saving",
         ],
     }
+    if "replay" in record:
+        # Absolute floors (not ratios): SLO attainment must stay >= the
+        # floor on every machine, so no baseline comparison is needed.
+        payload["attainment_keys"] = ATTAINMENT_KEYS
     path.parent.mkdir(exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -458,7 +502,7 @@ def test_cluster_vs_threaded_throughput(report, seed):
 
 
 def test_stacked_batch_beats_per_item_loop(report, seed):
-    rng = np.random.default_rng(seed + 23)
+    rng = rng_stream(seed, "bench/stacked")
     mask = rng.random((96, 128)) < 0.08
     stack = np.where(mask[None], rng.standard_normal((STACK_SIZE, 96, 128)), 0.0)
     dense = rng.standard_normal((128, 24))
@@ -506,7 +550,7 @@ def test_stacked_batch_beats_per_item_loop(report, seed):
 
 def test_one_shot_compile_saving(report, seed):
     """The plan-cache satellite: repeated one-shot insum() calls stop recompiling."""
-    rng = np.random.default_rng(seed + 13)
+    rng = rng_stream(seed, "bench/one-shot")
     dense = np.where(rng.random((64, 96)) < 0.1, rng.standard_normal((64, 96)), 0.0)
     coo = COO.from_dense(dense)
     tensors = dict(
@@ -571,7 +615,9 @@ def main(argv: list[str]) -> int:
     committed ``benchmarks/results/BENCH_runtime.json``); ``--seed N``
     makes the measured workload reproducible; ``--cluster`` adds the
     multi-process vs threaded open-loop comparison (the nightly full
-    benchmark runs with it).
+    benchmark runs with it); ``--trace FILE`` replays a committed
+    workload trace and records its SLO attainment for the gate's
+    absolute-floor check.
     """
     smoke = "--smoke" in argv
     with_cluster = "--cluster" in argv
@@ -581,7 +627,9 @@ def main(argv: list[str]) -> int:
     seed = DEFAULT_SEED
     if "--seed" in argv:
         seed = int(argv[argv.index("--seed") + 1])
-    seed_everything(seed)
+    trace_path: Path | None = None
+    if "--trace" in argv:
+        trace_path = Path(argv[argv.index("--trace") + 1])
     num_requests = 96 if smoke else NUM_REQUESTS
     repeats = 40 if smoke else 150
 
@@ -597,7 +645,7 @@ def main(argv: list[str]) -> int:
                 build_workload(num_requests, seed=seed), rounds=2 if smoke else 3
             )
 
-    rng = np.random.default_rng(seed + 23)
+    rng = rng_stream(seed, "bench/stacked")
     mask = rng.random((48, 64)) < 0.08
     stack = np.where(mask[None], rng.standard_normal((8, 48, 64)), 0.0)
     op = BatchedSpMM(stack, group_size=4)
@@ -645,6 +693,9 @@ def main(argv: list[str]) -> int:
         "warm_s": round(warm_s, 6),
         "saving": round(cold_s / warm_s, 3),
     }
+
+    if trace_path is not None:
+        record["replay"] = measure_trace_replay(trace_path)
 
     write_bench_json(record, path=out_path, profile="smoke" if smoke else "full")
     print(json.dumps(record, indent=2, sort_keys=True))

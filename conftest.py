@@ -2,16 +2,17 @@
 
 Registers the ``--seed`` option (an *initial*-conftest-only hook, which
 is why it lives here rather than in ``benchmarks/conftest.py``): every
-benchmark harness derives all of its RNG streams from this one value, so
-CI smoke-gate measurements are reproducible run-to-run and a regression
-can be replayed locally with the exact workload that tripped the gate.
+test and benchmark harness derives all of its RNG streams from this one
+value through :func:`repro.utils.rng` — named, independent
+``np.random.Generator`` streams — so CI smoke-gate measurements are
+reproducible run-to-run and a regression can be replayed locally with
+the exact workload that tripped the gate.  Nothing seeds the legacy
+process-global RNGs anymore; consumers call ``rng(seed, "stream")``
+instead, so adding a draw in one place cannot perturb any other.
 """
 
 from __future__ import annotations
 
-import random
-
-import numpy as np
 import pytest
 
 DEFAULT_SEED = 7
@@ -23,15 +24,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         action="store",
         type=int,
         default=DEFAULT_SEED,
-        help="base seed for every RNG used by the benchmark harnesses "
-        f"(default {DEFAULT_SEED})",
+        help="base seed for every RNG used by the test and benchmark "
+        f"harnesses (default {DEFAULT_SEED})",
     )
 
 
 @pytest.fixture(scope="session")
 def seed(request: pytest.FixtureRequest) -> int:
-    """The session's base seed; also seeds the legacy global RNGs."""
-    value = int(request.config.getoption("--seed"))
-    random.seed(value)
-    np.random.seed(value % (2**32))
-    return value
+    """The session's base seed; derive streams via ``repro.utils.rng``."""
+    return int(request.config.getoption("--seed"))

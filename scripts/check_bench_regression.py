@@ -9,6 +9,13 @@ broadly machine-portable, unlike absolute req/s — and only regressions
 fail: a ratio more than ``--tolerance`` (default 25%) below the
 baseline's value exits non-zero.  Improvements never fail.
 
+Records may also carry ``attainment_keys`` — absolute floors (e.g.
+``replay.slo_attainment: 0.99`` from the trace-replay section).  Unlike
+ratios these are not compared against the baseline's measured value:
+the current value must simply meet the floor, with no tolerance, on any
+machine.  The current record's own floors apply; the baseline's floors
+are also checked when the current record carries the metric.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_runtime_throughput.py --smoke --out /tmp/bench.json
@@ -63,6 +70,24 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"{key}: {current_value} is more than {tolerance:.0%} below "
                 f"the baseline {base_value}"
             )
+
+    # Absolute floors (SLO attainment): no baseline comparison, no
+    # tolerance — the measured value must meet the committed floor.
+    attainment_keys: dict = {}
+    attainment_keys.update(baseline.get("attainment_keys", {}))
+    attainment_keys.update(current.get("attainment_keys", {}))
+    for key, floor in attainment_keys.items():
+        current_value = _lookup(current.get("metrics", {}), key)
+        if current_value is None:
+            failures.append(f"{key}: missing from the current record (floor {floor})")
+            continue
+        status = "ok" if float(current_value) >= float(floor) else "BELOW FLOOR"
+        print(
+            f"{key:32s} floor    {float(floor):8.3f}  "
+            f"current {float(current_value):8.3f}  {'':>15s} {status}"
+        )
+        if status != "ok":
+            failures.append(f"{key}: {current_value} is below the absolute floor {floor}")
     return failures
 
 

@@ -35,6 +35,7 @@ PUBLIC_MODULES = [
     "repro.cluster",
     "repro.serve",
     "repro.obs",
+    "repro.replay",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

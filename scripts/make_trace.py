@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Generate (or refresh) a committed workload-trace file.
+
+The committed smoke trace under ``benchmarks/traces/`` is the input to
+the CI replay gate: ``bench_runtime_throughput.py --trace`` replays it
+against the cluster backend and the regression gate holds its SLO
+attainment to an absolute floor.  This script is how that file is made
+— and remade byte-identically, because everything derives from the
+``--seed`` through named :func:`repro.utils.rng` streams.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/make_trace.py \
+        --out benchmarks/traces/mixed_smoke.jsonl \
+        --name mixed-smoke --seed 7 --records 96 --rate 200
+
+Use ``--regime NAME`` for a single-tenant trace over one tuner regime,
+``--arrival onoff`` for the bursty process, ``--no-digests`` to skip
+expected-result digests (replay harnesses on other machines refresh
+them locally anyway; see ``docs/REPLAY.md``).
+
+Exit status 0 on success; the trace is verified by re-reading it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.replay import (  # noqa: E402 — after the src/ path shim
+    ARRIVALS,
+    REGIMES,
+    SLOTarget,
+    read_trace,
+    synthesize,
+    synthesize_regime,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, required=True, help="destination .jsonl path")
+    parser.add_argument("--name", default="mixed-smoke", help="trace name (header field)")
+    parser.add_argument("--seed", type=int, default=7, help="base seed for every stream")
+    parser.add_argument("--records", type=int, default=96, help="number of requests")
+    parser.add_argument("--rate", type=float, default=200.0, help="mean offered load, req/s")
+    parser.add_argument(
+        "--arrival", choices=ARRIVALS, default="poisson", help="arrival process"
+    )
+    parser.add_argument(
+        "--regime",
+        choices=REGIMES,
+        default=None,
+        help="single-tenant trace over one tuner regime (default: mixed multi-tenant)",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=250.0, help="per-request latency target, ms"
+    )
+    parser.add_argument(
+        "--attainment", type=float, default=0.99, help="required attainment fraction"
+    )
+    parser.add_argument(
+        "--no-digests",
+        action="store_true",
+        help="skip expected-result digests (operand digests are still written)",
+    )
+    args = parser.parse_args(argv)
+
+    slo = SLOTarget(latency_ms=args.slo_ms, attainment_target=args.attainment)
+    if args.regime:
+        trace = synthesize_regime(
+            args.regime,
+            seed=args.seed,
+            num_records=args.records,
+            rate_rps=args.rate,
+            arrival=args.arrival,
+            slo=slo,
+            digests=not args.no_digests,
+        )
+    else:
+        trace = synthesize(
+            args.name,
+            seed=args.seed,
+            num_records=args.records,
+            rate_rps=args.rate,
+            arrival=args.arrival,
+            slo=slo,
+            digests=not args.no_digests,
+        )
+    path = trace.save(args.out)
+    verified = read_trace(path)
+    print(
+        f"wrote {path}: {len(verified)} records, {len(verified.tenants())} tenants, "
+        f"{verified.duration_ms:.0f} ms of trace time, "
+        f"SLO {slo.latency_ms:.0f} ms @ {slo.attainment_target:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@ Public API highlights
   metrics registry, per-request traces (``Future.trace()``), structured
   JSON logs, and the ``/metrics`` / ``/healthz`` / ``/statsz`` ops HTTP
   endpoint (``Session.serve_ops()``; see ``docs/OBSERVABILITY.md``).
+* :mod:`repro.replay` — workload-trace replay: versioned JSONL traces
+  (``repro-trace/1``), an open-loop replayer over any backend emitting
+  an SLO report with latency/attainment/goodput, and a seeded fault
+  injector behind the ``tests/replay`` soak suite (see
+  ``docs/REPLAY.md``).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
@@ -62,7 +67,7 @@ from repro.tuner import (
     profile_operand,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ClusterBusyError",

@@ -1,0 +1,73 @@
+"""Workload-trace replay: committed traces, open-loop load, SLO gates.
+
+The replay layer turns every serving performance and robustness claim
+into something reproducible from a file in the repository:
+
+- :mod:`repro.replay.trace` — the versioned JSONL trace format, its
+  deterministic synthetic generators (four tuner regimes, mixed
+  multi-tenant populations, uniform/Poisson/bursty arrivals), and the
+  :class:`TraceMaterializer` that rebuilds operand arrays from specs.
+- :mod:`repro.replay.runner` — the open-loop replayer over a serve
+  :class:`~repro.serve.Session` (any backend) and the
+  :class:`SLOReport` it emits (percentiles vs. targets, attainment,
+  goodput, failure taxonomy, conservation invariants).
+- :mod:`repro.replay.faults` — seeded fault injection (worker kill,
+  admission saturation, oversized operands, in-place mutation) driven
+  from the replayer's hooks; the basis of the soak suite.
+
+See ``docs/REPLAY.md`` for the trace schema, the SLO report fields, and
+the fault catalogue.
+"""
+
+from repro.replay.faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultSchedule
+from repro.replay.runner import OUTCOMES, RequestOutcome, SLOReport, replay, replay_file
+from repro.replay.trace import (
+    ARRIVALS,
+    REGIMES,
+    SCHEMA,
+    SLOTarget,
+    TenantSpec,
+    TraceFormatError,
+    TraceHeader,
+    TraceMaterializer,
+    TraceRecord,
+    WorkloadTrace,
+    compute_digests,
+    default_tenants,
+    digest_array,
+    digest_operands,
+    read_trace,
+    synthesize,
+    synthesize_regime,
+    write_trace,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "FAULT_KINDS",
+    "OUTCOMES",
+    "REGIMES",
+    "SCHEMA",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "RequestOutcome",
+    "SLOReport",
+    "SLOTarget",
+    "TenantSpec",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceMaterializer",
+    "TraceRecord",
+    "WorkloadTrace",
+    "compute_digests",
+    "default_tenants",
+    "digest_array",
+    "digest_operands",
+    "read_trace",
+    "replay",
+    "replay_file",
+    "synthesize",
+    "synthesize_regime",
+    "write_trace",
+]

@@ -1,0 +1,294 @@
+"""Deterministic fault injection for trace replay.
+
+A :class:`FaultSchedule` is a seeded list of ``(record index, fault)``
+events — derived from :func:`repro.utils.rng` streams, so the same
+``(seed, num_records)`` always produces the same schedule — and a
+:class:`FaultInjector` applies those events from the replayer's
+per-record hooks.  Faults target the failure paths the cluster tier
+claims to survive; the soak suite (``tests/replay/test_soak.py``)
+replays under each fault and asserts the :class:`~repro.replay.runner.
+SLOReport` conservation invariant (completed+failed+cancelled ==
+submitted) and zero digest mismatches.
+
+The fault catalogue (see ``docs/REPLAY.md`` for the full table):
+
+``worker_kill``
+    SIGKILL a cluster worker mid-trace.  Exercises crash detection,
+    restart, and in-flight requeue; a no-op on backends without worker
+    processes.
+``admission_saturation``
+    Collapse the admission window to zero for exactly one record, then
+    restore it.  With a ``reject`` policy the targeted request fails
+    deterministically with ``ClusterBusyError`` — admission pressure
+    without racing on real queue depth.
+``oversized_operand``
+    Submit an extra out-of-trace request whose dense operand exceeds
+    the shm ring's payload budget, forcing the inline-pickle fallback
+    path.  The injector computes the expected product itself and checks
+    the answer at finalize; a surviving wrong answer counts as an
+    injected failure.
+``value_mutation``
+    Force the next few records to refill their dense operands *in
+    place* in shared client buffers, exercising the codec's checksum
+    gate that must re-ship mutated arrays instead of serving the stale
+    identity-cache entry.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.replay.trace import SPMM_EXPRESSION, TraceRecord
+from repro.serve import Session
+from repro.serve.future import Future
+from repro.utils.rng import rng
+
+#: Every fault kind the injector understands, in catalogue order.
+FAULT_KINDS = (
+    "worker_kill",
+    "admission_saturation",
+    "oversized_operand",
+    "value_mutation",
+)
+
+#: How many consecutive records a ``value_mutation`` event forces into
+#: in-place reuse mode.
+MUTATION_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what to inject, and at which record index.
+
+    ``param`` disambiguates within a kind (e.g. which worker to kill).
+    """
+
+    kind: str
+    at_index: int
+    param: int = 0
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded, ordered set of fault events for one replay run."""
+
+    seed: int
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_records: int,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        events_per_kind: int = 1,
+    ) -> "FaultSchedule":
+        """Derive a deterministic schedule from ``(seed, num_records)``.
+
+        Event indices come from the ``"faults/<kind>"`` RNG stream, are
+        kept clear of the first and last few records (so startup and
+        drain stay clean), and never collide across kinds.
+
+        Parameters
+        ----------
+        seed:
+            The run's base seed.
+        num_records:
+            Length of the trace being replayed.
+        kinds:
+            Which fault kinds to schedule (default: all four).
+        events_per_kind:
+            Number of events of each kind.
+        """
+        margin = min(3, max(0, num_records // 4))
+        low, high = margin, max(margin + 1, num_records - margin)
+        taken: set[int] = set()
+        events = []
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+            generator = rng(seed, f"faults/{kind}")
+            for ordinal in range(events_per_kind):
+                index = int(generator.integers(low, high))
+                while index in taken:
+                    index = (index + 1) % num_records
+                taken.add(index)
+                events.append(FaultEvent(kind=kind, at_index=index, param=ordinal))
+        events.sort(key=lambda event: (event.at_index, event.kind))
+        return cls(seed=seed, events=events)
+
+    def at(self, index: int) -> list[FaultEvent]:
+        """The events scheduled for record ``index`` (usually 0 or 1)."""
+        return [event for event in self.events if event.at_index == index]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` from the replayer's hooks.
+
+    One injector per replay run.  The replayer calls
+    :meth:`before_record` just before materializing each record (its
+    return value forces in-place operand reuse for the mutation fault),
+    :meth:`after_record` right after submitting it, and
+    :meth:`finalize` once the trace has drained, which settles any
+    injected out-of-band requests and reports their pass/fail counts.
+
+    Parameters
+    ----------
+    schedule:
+        The seeded fault schedule to apply.
+    oversized_elements:
+        Element count of the oversized dense operand (must exceed the
+        target ring's payload budget to force the fallback path; the
+        soak suite pairs this with a deliberately small ring).
+    """
+
+    def __init__(self, schedule: FaultSchedule, oversized_elements: int = 1 << 16):
+        self.schedule = schedule
+        self.oversized_elements = int(oversized_elements)
+        self.applied: list[FaultEvent] = []
+        self.skipped: list[FaultEvent] = []
+        self._mutation_until = -1
+        self._saved_window: int | None = None
+        self._injected: list[tuple[Future, np.ndarray]] = []
+
+    # -- hook: before each record -------------------------------------------
+    def before_record(self, session: Session, index: int, record: TraceRecord) -> bool:
+        """Apply the faults scheduled at ``index``; return force-reuse flag.
+
+        Parameters
+        ----------
+        session:
+            The replaying session (its backend is probed for
+            cluster-only capabilities).
+        index / record:
+            The record about to be materialized and submitted.
+        """
+        self._restore_admission(session)
+        force_reuse = index <= self._mutation_until
+        for event in self.schedule.at(index):
+            if event.kind == "worker_kill":
+                if self._kill_worker(session, event.param):
+                    self.applied.append(event)
+                else:
+                    self.skipped.append(event)
+            elif event.kind == "admission_saturation":
+                if self._saturate_admission(session):
+                    self.applied.append(event)
+                else:
+                    self.skipped.append(event)
+            elif event.kind == "value_mutation":
+                self._mutation_until = index + MUTATION_WINDOW
+                force_reuse = True
+                self.applied.append(event)
+            elif event.kind == "oversized_operand":
+                self._inject_oversized(session)
+                self.applied.append(event)
+        return force_reuse
+
+    # -- hook: after each record --------------------------------------------
+    def after_record(
+        self, session: Session, index: int, record: TraceRecord, future: Future
+    ) -> None:
+        """Undo single-record faults (admission window) after submission.
+
+        Parameters
+        ----------
+        session / index / record / future:
+            The just-submitted request and its session.
+        """
+        # The saturated window must stay collapsed only for the one
+        # record it targeted; restore it on the next hook invocation or
+        # here once the targeted submit has gone through.
+        self._restore_admission(session)
+
+    # -- hook: end of run ----------------------------------------------------
+    def finalize(self, session: Session, timeout: float) -> tuple[int, int]:
+        """Settle injected out-of-band requests; return (ok, failed).
+
+        Parameters
+        ----------
+        session:
+            The replaying session.
+        timeout:
+            Seconds to wait for each injected request.
+        """
+        self._restore_admission(session)
+        ok = failed = 0
+        for future, expected in self._injected:
+            try:
+                result = future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - any loss/error is a failure
+                failed += 1
+                continue
+            if np.allclose(result, expected, rtol=1e-10, atol=1e-12):
+                ok += 1
+            else:
+                failed += 1
+        return ok, failed
+
+    # -- individual faults ---------------------------------------------------
+    def _kill_worker(self, session: Session, param: int) -> bool:
+        backend = session._backend
+        pids = getattr(backend, "worker_pids", None)
+        if not pids:
+            return False
+        victim = pids[param % len(pids)]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            return False
+        # Give the health monitor a beat to notice before the next
+        # submission lands; keeps the kill deterministic in effect
+        # (restart + requeue) rather than racing the submit.
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            current = getattr(backend, "worker_pids", [])
+            if victim not in current:
+                break
+            time.sleep(0.01)
+        return True
+
+    def _saturate_admission(self, session: Session) -> bool:
+        admission = getattr(session._backend, "admission", None)
+        if admission is None:
+            return False
+        if self._saved_window is None:
+            self._saved_window = admission.max_inflight
+        admission.max_inflight = 0
+        return True
+
+    def _restore_admission(self, session: Session) -> None:
+        if self._saved_window is None:
+            return
+        admission = getattr(session._backend, "admission", None)
+        if admission is not None:
+            admission.max_inflight = self._saved_window
+        self._saved_window = None
+
+    def _inject_oversized(self, session: Session) -> None:
+        # A dense @ dense product big enough to blow the ring's payload
+        # budget; expected value computed here, checked at finalize.
+        side = max(8, int(np.sqrt(self.oversized_elements)))
+        generator = rng(self.schedule.seed, f"oversized/{len(self._injected)}")
+        a = generator.standard_normal((side, side))
+        b = generator.standard_normal((side, 4))
+        from repro.formats import COO
+
+        sparse_a = COO.from_dense(a)
+        expected = a @ b
+        future = session.submit(SPMM_EXPRESSION, A=sparse_a, B=b)
+        self._injected.append((future, expected))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "MUTATION_WINDOW",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+]

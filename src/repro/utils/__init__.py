@@ -10,6 +10,7 @@ from repro.utils.arrays import (
     round_to_power_of_two,
 )
 from repro.utils.naming import fresh_name, is_identifier
+from repro.utils.rng import rng, stream_seed
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -22,5 +23,7 @@ __all__ = [
     "round_to_power_of_two",
     "fresh_name",
     "is_identifier",
+    "rng",
+    "stream_seed",
     "Timer",
 ]

@@ -8,21 +8,24 @@ import pytest
 from repro import ClusterBusyError, ClusterServer
 from repro.cluster.admission import AdmissionController
 from repro.formats import COO
+from repro.utils.rng import rng
 
 
 @pytest.fixture
-def heavy_request():
+def heavy_request(seed):
     """One reasonably expensive SpMM request (compile + a real contraction)."""
-    rng = np.random.default_rng(21)
-    dense = np.where(rng.random((256, 256)) < 0.05, rng.standard_normal((256, 256)), 0.0)
+    generator = rng(seed, "backpressure/heavy")
+    dense = np.where(
+        generator.random((256, 256)) < 0.05, generator.standard_normal((256, 256)), 0.0
+    )
     fmt = COO.from_dense(dense)
     return lambda: (
         "C[m,n] += A[m,k] * B[k,n]",
-        dict(A=fmt, B=rng.standard_normal((256, 32))),
+        dict(A=fmt, B=generator.standard_normal((256, 32))),
     )
 
 
-def test_reject_policy_sheds_load_with_retry_after(heavy_request):
+def test_reject_policy_sheds_load_with_retry_after(heavy_request, cluster_timeout):
     """Over-limit submissions fail fast and carry a retry_after estimate."""
     with ClusterServer(
         num_workers=1, worker_threads=1, max_inflight=2, admission="reject"
@@ -40,19 +43,19 @@ def test_reject_policy_sheds_load_with_retry_after(heavy_request):
             assert error.retry_after > 0
             assert error.limit == 2
         # Everything that *was* admitted completes normally.
-        results = cluster.collect(tickets, timeout=120)
+        results = cluster.collect(tickets, timeout=cluster_timeout)
         assert all(result.ok for result in results)
         assert cluster.stats().rejected == len(rejections)
 
 
-def test_block_policy_applies_backpressure_not_errors(heavy_request):
+def test_block_policy_applies_backpressure_not_errors(heavy_request, cluster_timeout):
     """The default policy makes submit() wait instead of failing."""
     with ClusterServer(
         num_workers=1, worker_threads=1, max_inflight=2, admission="block"
     ) as cluster:
         requests = [heavy_request() for _ in range(8)]
         tickets = cluster.enqueue_many(requests)  # blocks as needed, never raises
-        results = cluster.collect(tickets, timeout=120)
+        results = cluster.collect(tickets, timeout=cluster_timeout)
         assert all(result.ok for result in results)
         assert cluster.stats().rejected == 0
         assert cluster.admission.inflight == 0

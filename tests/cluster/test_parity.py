@@ -7,17 +7,17 @@ import numpy as np
 from repro import ClusterServer, InsumServer
 
 
-def test_mixed_workload_parity(mixed_workload):
+def test_mixed_workload_parity(mixed_workload, cluster_workers, cluster_timeout):
     """The cluster serves the mixed workload bit-for-bit compatibly.
 
     Results may differ from the threaded server only by floating-point
     reassociation of coalesced batches — the same tolerance the
     in-process coalescer is held to.
     """
-    with InsumServer(num_workers=2) as threaded:
+    with InsumServer(num_workers=cluster_workers) as threaded:
         expected = threaded.run_batch(mixed_workload)
-    with ClusterServer(num_workers=2, worker_threads=1) as cluster:
-        actual = cluster.run_batch(mixed_workload, timeout=180)
+    with ClusterServer(num_workers=cluster_workers, worker_threads=1) as cluster:
+        actual = cluster.run_batch(mixed_workload, timeout=cluster_timeout)
         stats = cluster.stats()
 
     assert all(result.ok for result in expected)
@@ -31,28 +31,30 @@ def test_mixed_workload_parity(mixed_workload):
     # worker-side coalescing survived the process boundary.
     assert stats.aggregate.completed == len(mixed_workload)
     assert stats.aggregate.failed == 0
-    assert stats.workers == 2
+    assert stats.workers == cluster_workers
     assert stats.aggregate.coalesced_requests > 0
     assert sum(worker.completed for worker in stats.per_worker) == len(mixed_workload)
 
 
-def test_affinity_spreads_distinct_patterns(mixed_workload):
+def test_affinity_spreads_distinct_patterns(mixed_workload, cluster_workers, cluster_timeout):
     """Distinct expression+pattern keys land on distinct workers."""
-    with ClusterServer(num_workers=2, worker_threads=1) as cluster:
-        results = cluster.run_batch(mixed_workload, timeout=180)
+    with ClusterServer(num_workers=cluster_workers, worker_threads=1) as cluster:
+        results = cluster.run_batch(mixed_workload, timeout=cluster_timeout)
         stats = cluster.stats()
     assert all(result.ok for result in results)
     busy_workers = [worker for worker in stats.per_worker if worker.completed > 0]
-    assert len(busy_workers) == 2
+    # Three distinct expression+pattern keys in the workload: at least
+    # two workers must share the load however many workers the box has.
+    assert len(busy_workers) >= 2
 
 
-def test_gather_semantics_match_insum_server(mixed_workload):
+def test_gather_semantics_match_insum_server(mixed_workload, cluster_timeout):
     """Ticket-order results, consumed-on-gather, KeyError on reuse."""
     expression, operands = mixed_workload[0]
     with ClusterServer(num_workers=1, worker_threads=1) as cluster:
         first = cluster.enqueue(expression, **operands)
         second = cluster.enqueue(expression, **operands)
-        results = cluster.collect([second, first], timeout=120)
+        results = cluster.collect([second, first], timeout=cluster_timeout)
         assert [result.request_id for result in results] == [second, first]
         try:
             cluster.collect([first])
@@ -62,13 +64,13 @@ def test_gather_semantics_match_insum_server(mixed_workload):
             raise AssertionError("re-gathering a consumed ticket must raise KeyError")
 
 
-def test_bad_request_is_an_error_not_a_crash(mixed_workload):
+def test_bad_request_is_an_error_not_a_crash(mixed_workload, cluster_timeout):
     """A malformed expression errors per-request; the pool keeps serving."""
     expression, operands = mixed_workload[0]
     with ClusterServer(num_workers=1, worker_threads=1) as cluster:
         bad = cluster.enqueue("this is not an einsum", x=np.zeros(3))
         good = cluster.enqueue(expression, **operands)
-        bad_result, good_result = cluster.collect([bad, good], timeout=60)
+        bad_result, good_result = cluster.collect([bad, good], timeout=cluster_timeout)
         assert not bad_result.ok
         assert good_result.ok
         stats = cluster.stats()

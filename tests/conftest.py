@@ -7,9 +7,16 @@ import pytest
 
 
 @pytest.fixture
-def rng() -> np.random.Generator:
-    """A deterministic random generator shared by tests."""
-    return np.random.default_rng(12345)
+def rng(seed) -> np.random.Generator:
+    """A deterministic per-test generator derived from the session ``--seed``.
+
+    A named :func:`repro.utils.rng` stream rather than a hard-coded
+    ``default_rng`` seed, so ``pytest --seed N`` reproduces the whole
+    suite's draws and no test can perturb another's stream.
+    """
+    from repro.utils.rng import rng as rng_stream
+
+    return rng_stream(seed, "tests/shared")
 
 
 @pytest.fixture

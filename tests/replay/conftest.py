@@ -1,0 +1,53 @@
+"""Shared fixtures for the replay suite.
+
+Traces are synthesized once per module from the session ``--seed`` so
+every test run is reproducible end to end, and soak tests persist their
+:class:`~repro.replay.runner.SLOReport` JSON into ``REPLAY_REPORT_DIR``
+(when set) so CI can upload the artifacts on pass *and* fail.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.replay import WorkloadTrace, synthesize
+
+
+@pytest.fixture(scope="module")
+def small_trace(seed) -> WorkloadTrace:
+    """A 24-record mixed-tenant Poisson trace with digests computed."""
+    return synthesize("replay-small", seed=seed, num_records=24, rate_rps=400.0)
+
+
+@pytest.fixture(scope="module")
+def bursty_trace(seed) -> WorkloadTrace:
+    """A 32-record bursty (on/off) trace with digests computed."""
+    return synthesize(
+        "replay-bursty",
+        seed=seed,
+        num_records=32,
+        rate_rps=500.0,
+        arrival="onoff",
+        on_ms=20.0,
+        off_ms=20.0,
+    )
+
+
+@pytest.fixture
+def report_sink(request):
+    """Persist SLO reports into ``REPLAY_REPORT_DIR`` for CI artifacts.
+
+    Returns a callable ``sink(report, label="")``; a no-op when the
+    environment variable is unset (local runs).
+    """
+    directory = os.environ.get("REPLAY_REPORT_DIR")
+
+    def sink(report, label: str = ""):
+        if not directory:
+            return None
+        name = request.node.name.replace("/", "_").replace("[", "-").rstrip("]")
+        suffix = f"-{label}" if label else ""
+        return report.save(Path(directory) / f"{name}{suffix}.json")
+
+    return sink

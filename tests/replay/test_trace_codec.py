@@ -1,0 +1,210 @@
+"""Property-based tests (seeded, stdlib-only) for the trace codec.
+
+Three properties pin the ``repro-trace/1`` format down: randomly
+generated records survive a save/load round trip bit-for-bit; unknown
+fields anywhere in the file are tolerated *and preserved*; and the
+operand digest depends only on the logical matrix, not the sparse
+format it ships in.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSR, COO, CSR, ELL, GroupCOO
+from repro.replay import (
+    ARRIVALS,
+    REGIMES,
+    SCHEMA,
+    SLOTarget,
+    TraceFormatError,
+    TraceHeader,
+    TraceMaterializer,
+    TraceRecord,
+    WorkloadTrace,
+    digest_array,
+    digest_operands,
+    read_trace,
+    synthesize,
+    synthesize_regime,
+    write_trace,
+)
+from repro.utils.rng import rng
+
+NUM_RANDOM_CASES = 25
+
+
+def random_record(generator) -> TraceRecord:
+    """One random-but-valid trace record (the property generator)."""
+    tenant = f"tenant-{int(generator.integers(0, 5))}"
+    regime = REGIMES[int(generator.integers(0, len(REGIMES)))]
+    shape = [int(generator.integers(8, 64)), int(generator.integers(8, 64))]
+    record = TraceRecord(
+        offset_ms=float(np.round(generator.uniform(0, 5e3), 4)),
+        tenant=tenant,
+        expression="C[m,n] += A[m,k] * B[k,n]",
+        operands={
+            "A": {
+                "kind": "sparse",
+                "regime": regime,
+                "shape": shape,
+                "density": float(np.round(generator.uniform(0.01, 0.3), 3)),
+                "format": "coo",
+                "pattern_seed": int(generator.integers(0, 100)),
+                "value_seed": int(generator.integers(0, 100)),
+            },
+            "B": {
+                "kind": "dense",
+                "shape": [shape[1], int(generator.integers(1, 16))],
+                "value_seed": int(generator.integers(0, 1000)),
+            },
+        },
+        digest=f"sha256:{int(generator.integers(0, 2**32)):064x}",
+        operand_digest=f"sha256:{int(generator.integers(0, 2**32)):064x}",
+    )
+    if generator.random() < 0.5:
+        record.extras["future_field"] = int(generator.integers(0, 10))
+    return record
+
+
+class TestRoundTrip:
+    def test_random_records_round_trip(self, tmp_path, seed):
+        generator = rng(seed, "codec-roundtrip")
+        for case in range(NUM_RANDOM_CASES):
+            records = [random_record(generator) for _ in range(int(generator.integers(1, 8)))]
+            records.sort(key=lambda record: record.offset_ms)
+            header = TraceHeader(name=f"case-{case}", seed=seed, slo=SLOTarget(100.0, 0.95))
+            trace = WorkloadTrace(header, records)
+            path = write_trace(tmp_path / f"case-{case}.jsonl", trace)
+            loaded = read_trace(path)
+            assert loaded.header.to_dict() == trace.header.to_dict()
+            assert [r.to_dict() for r in loaded] == [r.to_dict() for r in trace]
+
+    def test_reencode_is_byte_stable(self, tmp_path, seed):
+        trace = synthesize("stable", seed=seed, num_records=8, digests=False)
+        first = write_trace(tmp_path / "a.jsonl", trace).read_bytes()
+        second = write_trace(tmp_path / "b.jsonl", read_trace(tmp_path / "a.jsonl")).read_bytes()
+        assert first == second
+
+    def test_synthesis_is_deterministic(self, seed):
+        one = synthesize("det", seed=seed, num_records=10, digests=False)
+        two = synthesize("det", seed=seed, num_records=10, digests=False)
+        assert [r.to_dict() for r in one] == [r.to_dict() for r in two]
+
+    def test_different_seeds_differ(self, seed):
+        one = synthesize("det", seed=seed, num_records=10, digests=False)
+        two = synthesize("det", seed=seed + 1, num_records=10, digests=False)
+        assert [r.to_dict() for r in one] != [r.to_dict() for r in two]
+
+
+class TestForwardCompat:
+    def test_unknown_record_fields_survive(self, tmp_path, seed):
+        trace = synthesize("compat", seed=seed, num_records=3, digests=False)
+        path = write_trace(tmp_path / "t.jsonl", trace)
+        lines = path.read_text().splitlines()
+        doctored = [json.loads(line) for line in lines]
+        doctored[0]["new_header_knob"] = {"nested": True}
+        doctored[1]["priority"] = "gold"
+        path.write_text("\n".join(json.dumps(obj) for obj in doctored) + "\n")
+
+        loaded = read_trace(path)
+        assert loaded.header.extras["new_header_knob"] == {"nested": True}
+        assert loaded.records[0].extras["priority"] == "gold"
+        # ... and a re-save keeps them.
+        resaved = read_trace(write_trace(tmp_path / "resave.jsonl", loaded))
+        assert resaved.records[0].extras["priority"] == "gold"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "repro-trace/999", "name": "x", "seed": 1}) + "\n")
+        with pytest.raises(TraceFormatError, match="repro-trace/999"):
+            read_trace(path)
+
+    def test_missing_required_field_rejected(self, tmp_path, seed):
+        trace = synthesize("strict", seed=seed, num_records=1, digests=False)
+        path = write_trace(tmp_path / "t.jsonl", trace)
+        header, record = [json.loads(line) for line in path.read_text().splitlines()]
+        del record["expression"]
+        path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(TraceFormatError, match="expression"):
+            read_trace(path)
+
+    def test_record_count_mismatch_rejected(self, tmp_path, seed):
+        trace = synthesize("count", seed=seed, num_records=3, digests=False)
+        path = write_trace(tmp_path / "t.jsonl", trace)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one record
+        with pytest.raises(TraceFormatError, match="promises 3"):
+            read_trace(path)
+
+
+class TestDigests:
+    def test_operand_digest_is_format_independent(self, seed):
+        generator = rng(seed, "digest-formats")
+        for _ in range(NUM_RANDOM_CASES):
+            dense = np.where(
+                generator.random((32, 32)) < 0.2, generator.standard_normal((32, 32)), 0.0
+            )
+            digests = {
+                digest_operands({"A": fmt.from_dense(dense)})
+                for fmt in (COO, CSR, ELL)
+            }
+            digests.add(digest_operands({"A": GroupCOO.from_dense(dense, group_size=4)}))
+            digests.add(digest_operands({"A": BCSR.from_dense(dense, block_shape=(8, 8))}))
+            digests.add(digest_operands({"A": dense}))
+            assert len(digests) == 1, "same logical operand digested differently by format"
+
+    def test_operand_digest_sensitive_to_values(self, seed):
+        generator = rng(seed, "digest-sensitivity")
+        dense = generator.standard_normal((16, 16))
+        mutated = dense.copy()
+        mutated[3, 3] += 1.0
+        assert digest_operands({"A": dense}) != digest_operands({"A": mutated})
+
+    def test_digest_array_covers_dtype_and_shape(self):
+        values = np.arange(6, dtype=np.float64)
+        assert digest_array(values) != digest_array(values.astype(np.float32))
+        assert digest_array(values) != digest_array(values.reshape(2, 3))
+
+    def test_materializer_reproduces_operand_digests(self, small_trace):
+        fresh = TraceMaterializer(small_trace.seed)
+        for record in small_trace.records[:6]:
+            assert digest_operands(fresh.materialize(record)) == record.operand_digest
+
+    def test_materializer_caches_sparse_identity(self, small_trace):
+        materializer = TraceMaterializer(small_trace.seed)
+        by_tenant = {}
+        for record in small_trace:
+            sparse = materializer.materialize(record)["A"]
+            previous = by_tenant.setdefault(record.tenant, sparse)
+            assert previous is sparse, "long-lived pattern must keep one identity"
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_each_regime_synthesizes(self, regime, seed):
+        trace = synthesize_regime(regime, seed=seed, num_records=4, digests=False)
+        assert len(trace) == 4
+        assert all(record.tenant == regime for record in trace)
+        operands = TraceMaterializer(trace.seed).materialize(trace.records[0])
+        assert operands["A"].to_dense().any()
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_arrival_processes_are_monotone(self, arrival, seed):
+        trace = synthesize(
+            f"arr-{arrival}", seed=seed, num_records=20, arrival=arrival, digests=False
+        )
+        offsets = [record.offset_ms for record in trace]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+
+    def test_subset_rebases_offsets(self, small_trace):
+        subset = small_trace.subset(5, 15)
+        assert len(subset) == 10
+        assert subset.records[0].offset_ms == 0.0
+        assert subset.seed == small_trace.seed
+        assert subset.header.slo == small_trace.header.slo
+
+    def test_header_schema_field(self, small_trace):
+        assert small_trace.header.to_dict()["schema"] == SCHEMA
