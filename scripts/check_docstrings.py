@@ -36,6 +36,7 @@ PUBLIC_MODULES = [
     "repro.serve",
     "repro.obs",
     "repro.replay",
+    "repro.resilience",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

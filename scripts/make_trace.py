@@ -17,7 +17,10 @@ Run from the repository root::
 Use ``--regime NAME`` for a single-tenant trace over one tuner regime,
 ``--arrival onoff`` for the bursty process, ``--no-digests`` to skip
 expected-result digests (replay harnesses on other machines refresh
-them locally anyway; see ``docs/REPLAY.md``).
+them locally anyway; see ``docs/REPLAY.md``).  ``--chaos FRACTION``
+stamps a seeded random subset of records with tight ``deadline_ms``
+extras, so replaying the trace exercises deadline enforcement end to
+end (see ``docs/RESILIENCE.md``).
 
 Exit status 0 on success; the trace is verified by re-reading it.
 """
@@ -68,7 +71,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip expected-result digests (operand digests are still written)",
     )
+    parser.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of records stamped with a tight deadline_ms extra "
+        "(seeded; 0 disables)",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.chaos <= 1.0:
+        parser.error(f"--chaos must be in [0, 1], got {args.chaos}")
 
     slo = SLOTarget(latency_ms=args.slo_ms, attainment_target=args.attainment)
     if args.regime:
@@ -91,12 +104,27 @@ def main(argv: list[str] | None = None) -> int:
             slo=slo,
             digests=not args.no_digests,
         )
+    chaos_count = 0
+    if args.chaos > 0.0:
+        # Seeded independently of the synthesis streams, so adding chaos
+        # deadlines never perturbs the workload itself — same operands,
+        # same arrivals, byte-identical apart from the extras field.
+        from repro.utils.rng import rng
+
+        generator = rng(args.seed, "chaos/deadlines")
+        for record in trace.records:
+            if generator.random() < args.chaos:
+                record.extras["deadline_ms"] = round(
+                    float(generator.uniform(0.0, args.slo_ms * 0.2)), 3
+                )
+                chaos_count += 1
     path = trace.save(args.out)
     verified = read_trace(path)
+    chaos_note = f", {chaos_count} chaos deadlines" if chaos_count else ""
     print(
         f"wrote {path}: {len(verified)} records, {len(verified.tenants())} tenants, "
         f"{verified.duration_ms:.0f} ms of trace time, "
-        f"SLO {slo.latency_ms:.0f} ms @ {slo.attainment_target:.0%}"
+        f"SLO {slo.latency_ms:.0f} ms @ {slo.attainment_target:.0%}{chaos_note}"
     )
     return 0
 

@@ -38,6 +38,13 @@ Public API highlights
   an SLO report with latency/attainment/goodput, and a seeded fault
   injector behind the ``tests/replay`` soak suite (see
   ``docs/REPLAY.md``).
+* :mod:`repro.resilience` — the failure-handling layer over every
+  serving tier: per-request deadlines (``submit(deadline_ms=...)`` →
+  :class:`repro.DeadlineExceededError`), a session
+  :class:`repro.resilience.RetryPolicy` with decorrelated-jitter
+  backoff, crash-loop supervision with restart budgets and poison
+  quarantine, and warm failover to a fallback backend (see
+  ``docs/RESILIENCE.md``).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
@@ -48,7 +55,15 @@ from repro.cluster import ClusterBusyError, ClusterServer, ClusterStats, WorkerC
 from repro.core.insum import Insum, SparseEinsum, insum, sparse_einsum
 from repro.core.inductor import InductorConfig
 from repro.core.triton_sim import DeviceModel, RTX3090
-from repro.errors import FutureCancelledError, ServeError, SessionClosedError
+from repro.errors import (
+    ControlThreadError,
+    DeadlineExceededError,
+    FutureCancelledError,
+    PoisonedRequestError,
+    ServeError,
+    SessionClosedError,
+)
+from repro.resilience import RetryPolicy
 from repro.runtime import (
     InsumServer,
     PlanCache,
@@ -67,14 +82,18 @@ from repro.tuner import (
     profile_operand,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ClusterBusyError",
     "ClusterServer",
     "ClusterStats",
+    "ControlThreadError",
+    "DeadlineExceededError",
     "Future",
     "FutureCancelledError",
+    "PoisonedRequestError",
+    "RetryPolicy",
     "ServeConfig",
     "ServeError",
     "ServeStats",

@@ -76,11 +76,22 @@ class AdmissionController:
         with self._cond:
             return max(0.001, self._service_s)
 
-    def acquire(self) -> None:
-        """Admit one request or raise :class:`ClusterBusyError`."""
-        deadline = (
-            time.monotonic() + self.block_timeout if self.policy == "block" else None
-        )
+    def acquire(self, wait_budget: float | None = None) -> None:
+        """Admit one request or raise :class:`ClusterBusyError`.
+
+        Parameters
+        ----------
+        wait_budget:
+            Extra cap (seconds) on how long a ``"block"``-policy acquire
+            may wait — the caller's request deadline.  Blocking past the
+            request's own expiry can only admit work that is already
+            dead, so the effective wait is ``min(block_timeout,
+            wait_budget)``.  Ignored under ``"reject"``.
+        """
+        timeout = self.block_timeout if self.policy == "block" else None
+        if timeout is not None and wait_budget is not None:
+            timeout = min(timeout, max(0.0, wait_budget))
+        deadline = time.monotonic() + timeout if timeout is not None else None
         with self._cond:
             while self._inflight >= self.max_inflight:
                 remaining = None if deadline is None else deadline - time.monotonic()

@@ -33,7 +33,10 @@ class RequestEnvelope:
     worker crash increment it).  ``trace_id`` carries the parent's
     request trace id (None when tracing is disabled); the worker
     re-creates a trace under it and ships its stamps/spans back in the
-    response.
+    response.  ``deadline`` is the request's absolute expiry in epoch
+    seconds (None = no deadline): the worker skips an already-expired
+    envelope without decoding or executing it and answers with a
+    ``DeadlineExceededError`` instead.
     """
 
     request_id: int
@@ -42,6 +45,7 @@ class RequestEnvelope:
     release_to: int = 0
     attempt: int = 0
     trace_id: str | None = None
+    deadline: float | None = None
 
 
 @dataclass

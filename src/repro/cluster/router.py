@@ -81,6 +81,7 @@ class Router:
         self.spill_threshold = spill_threshold
         self.max_keys = max_keys
         self._assignment: OrderedDict[tuple, list[int]] = OrderedDict()
+        self._dead: set[int] = set()
         self._lock = threading.Lock()
         self._m_spills = get_registry().counter(
             "repro_router_spills_total",
@@ -103,9 +104,16 @@ class Router:
         with self._lock:
             if key in self._assignment:
                 self._assignment.move_to_end(key)
-            assigned = [w for w in self._assignment.get(key, []) if w != exclude]
+            dead = self._dead
+            assigned = [
+                w for w in self._assignment.get(key, []) if w != exclude and w not in dead
+            ]
             if not assigned:
-                candidates = [w for w in range(self.num_workers) if w != exclude]
+                candidates = [
+                    w for w in range(self.num_workers) if w != exclude and w not in dead
+                ]
+                if not candidates:
+                    candidates = [w for w in range(self.num_workers) if w not in dead]
                 if not candidates:
                     candidates = list(range(self.num_workers))
                 worker = min(candidates, key=lambda w: (load[w], w))
@@ -116,7 +124,11 @@ class Router:
             best = min(assigned, key=lambda w: (load[w], w))
             if load[best] < self.spill_threshold:
                 return best
-            others = [w for w in range(self.num_workers) if w != exclude and w not in assigned]
+            others = [
+                w
+                for w in range(self.num_workers)
+                if w != exclude and w not in assigned and w not in dead
+            ]
             if not others:
                 return best
             spill = min(others, key=lambda w: (load[w], w))
@@ -137,3 +149,26 @@ class Router:
                         empty.append(key)
             for key in empty:
                 del self._assignment[key]
+
+    def mark_dead(self, worker_id: int) -> None:
+        """Permanently exclude a budget-exhausted worker from routing.
+
+        Drops the worker's sticky assignments and bars it from every
+        future ``route`` decision (assignment, spill, or requeue target)
+        — the slot will never serve again, so sending it work would
+        strand requests.
+
+        Parameters
+        ----------
+        worker_id:
+            The slot whose restart budget is exhausted.
+        """
+        with self._lock:
+            self._dead.add(worker_id)
+        self.forget_worker(worker_id)
+
+    @property
+    def dead_workers(self) -> tuple[int, ...]:
+        """Sorted worker ids permanently excluded from routing."""
+        with self._lock:
+            return tuple(sorted(self._dead))

@@ -54,11 +54,21 @@ from repro.cluster.router import Router, affinity_key
 from repro.cluster.shm import RingAborted, ShmRing
 from repro.cluster.stats import ClusterStats
 from repro.cluster.worker import worker_main
-from repro.errors import FutureCancelledError, SessionClosedError, WorkerCrashedError
+from repro.errors import (
+    ControlThreadError,
+    DeadlineExceededError,
+    FutureCancelledError,
+    PoisonedRequestError,
+    SessionClosedError,
+    WorkerCrashedError,
+)
 from repro.obs import resources as obs_resources
 from repro.obs import trace as obs_trace
 from repro.obs.logs import get_logger
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, get_registry
+from repro.resilience import deadline as resilience_deadline
+from repro.resilience.deadline import Deadline, deadline_error
+from repro.resilience.supervisor import PoisonQuarantine, WorkerSupervisor, poison_key
 from repro.runtime.server import InsumResult, warn_legacy
 from repro.runtime.stats import RuntimeStats, build_stats
 from repro.runtime.plan_cache import PlanCacheStats
@@ -72,7 +82,13 @@ __all__ = ["ClusterServer", "WorkerCrashedError", "RING_CAPACITY"]
 
 @dataclass
 class _Dispatch:
-    """One request waiting for (re)dispatch to a worker."""
+    """One request waiting for (re)dispatch to a worker.
+
+    ``crashes`` counts requeues caused specifically by the owning worker
+    dying (as opposed to benign bounces off a retiring handle): a request
+    whose every attempt killed a worker is poison and lands in the
+    quarantine when it fails out.
+    """
 
     request_id: int
     expression: str
@@ -81,6 +97,8 @@ class _Dispatch:
     attempt: int = 0
     exclude_worker: int | None = None
     trace: Any = None
+    deadline: Deadline | None = None
+    crashes: int = 0
 
 
 @dataclass
@@ -174,6 +192,13 @@ class ClusterServer:
     batch_window:
         Largest envelope batch a worker drains per inner-server round —
         the coalescing opportunity window.
+    restart_budget / restart_window:
+        The :class:`~repro.resilience.WorkerSupervisor` token bucket: at
+        most ``restart_budget`` restarts per worker slot per
+        ``restart_window`` seconds.  A slot that exhausts the budget is
+        permanently dead — dropped from routing, reported by
+        :meth:`health` — instead of crash-looping; ``restart_budget=0``
+        retires a slot on its first crash.
     """
 
     def __init__(
@@ -197,6 +222,8 @@ class ClusterServer:
         start_method: str | None = None,
         batch_window: int = 32,
         spill_threshold: int = 8,
+        restart_budget: int = 8,
+        restart_window: float = 60.0,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -230,6 +257,14 @@ class ClusterServer:
             max_inflight=max_inflight, policy=admission, block_timeout=block_timeout
         )
         self.router = Router(self.num_workers, spill_threshold=spill_threshold)
+        self.supervisor = WorkerSupervisor(budget=restart_budget, window=restart_window)
+        self.quarantine = PoisonQuarantine()
+        #: Serializes worker restart/retire against close()'s teardown —
+        #: a restart that loses the race to close() would spawn a worker
+        #: (and shm segments) nobody ever reclaims.
+        self._restart_lock = threading.Lock()
+        #: The ControlThreadError that killed the control plane, if any.
+        self._control_error: ControlThreadError | None = None
 
         self._state = threading.Condition()
         self._results: dict[int, InsumResult] = {}
@@ -267,6 +302,19 @@ class ClusterServer:
         self._m_restarts = registry.counter(
             "repro_worker_restarts_total",
             "Worker processes replaced by the health monitor.",
+        )
+        self._m_deadline = registry.counter(
+            "repro_deadline_expired_total",
+            "Requests that exceeded their deadline, by serving tier.",
+            backend="cluster",
+        )
+        self._m_poisoned = registry.counter(
+            "repro_poisoned_requests_total",
+            "Submissions failed fast by the poison quarantine.",
+        )
+        self._m_dead_workers = registry.gauge(
+            "repro_dead_workers",
+            "Worker slots retired permanently after exhausting their restart budget.",
         )
         self._window_started: float | None = None
         self._window_finished: float | None = None
@@ -365,16 +413,58 @@ class ClusterServer:
             q.close()
             q.cancel_join_thread()
 
-    def _restart_worker(self, worker_id: int) -> None:
-        """Replace a dead/wedged worker and requeue its in-flight requests."""
+    def _handle_worker_failure(self, worker_id: int) -> None:
+        """Rule on one detected worker death via the restart budget.
+
+        ``"restart"`` replaces the incarnation now; ``"defer"`` leaves the
+        dead handle in place until the supervisor's backoff elapses (the
+        monitor re-polls every ``health_interval``; dispatches bounce off
+        the retiring handle to the survivors meanwhile); ``"exhausted"``
+        retires the slot permanently.
+        """
+        with self._restart_lock:
+            if self._stopping.is_set():
+                return
+            decision = self.supervisor.decide(worker_id)
+            if decision == "defer":
+                # Harvest the dead incarnation's work right away — only
+                # the replacement spawn waits for the backoff.
+                for inflight in self._harvest_incarnation(worker_id):
+                    self._requeue(
+                        inflight.dispatch, exclude_worker=worker_id, crashed=True
+                    )
+                return
+            if decision == "restart":
+                self._restart_worker(worker_id)
+            else:
+                self._retire_worker_slot(worker_id)
+
+    def _harvest_incarnation(self, worker_id: int) -> list[_Inflight]:
+        """Retire the slot's current handle and collect its in-flight work.
+
+        Requeueing the harvest is the *caller's* job, at the point where a
+        redispatch target exists: a restart requeues after the replacement
+        is installed (so a single-worker pool redispatches to the fresh
+        incarnation instead of bouncing off the retired handle), while
+        defer/retire requeue immediately onto the survivors.
+        """
         old = self._handles[worker_id]
         with self._state:
+            already = old.retired
             old.retired = True
             stranded = list(old.outstanding.values())
             old.outstanding.clear()
             self._loads[worker_id] = 0
+        if not already:
+            self.router.forget_worker(worker_id)
+        return stranded
+
+    def _restart_worker(self, worker_id: int) -> None:
+        """Replace a dead/wedged worker and requeue its in-flight requests."""
+        old = self._handles[worker_id]
+        stranded = self._harvest_incarnation(worker_id)
+        with self._state:
             self._restarts += 1
-        self.router.forget_worker(worker_id)
         self._m_restarts.inc()
         self._log.warning(
             "restarting worker",
@@ -392,13 +482,45 @@ class ClusterServer:
         # its next poll; its queue died with the worker.
         self._teardown_handle(old)
         for inflight in stranded:
-            self._requeue(inflight.dispatch, exclude_worker=worker_id)
+            self._requeue(inflight.dispatch, exclude_worker=worker_id, crashed=True)
 
-    def _requeue(self, dispatch: _Dispatch, exclude_worker: int | None) -> None:
-        """Give a stranded request another attempt (or fail it out)."""
+    def _retire_worker_slot(self, worker_id: int) -> None:
+        """Permanently retire a slot whose restart budget is exhausted."""
+        old = self._handles[worker_id]
+        stranded = self._harvest_incarnation(worker_id)
+        for inflight in stranded:
+            self._requeue(inflight.dispatch, exclude_worker=worker_id, crashed=True)
+        self.router.mark_dead(worker_id)
+        self._m_dead_workers.set(len(self.supervisor.dead_workers))
+        self._log.error(
+            "worker slot retired: restart budget exhausted",
+            extra={
+                "worker": worker_id,
+                "incarnation": old.incarnation,
+                "healthy_workers": self.healthy_worker_count,
+            },
+        )
+        self._teardown_handle(old)
+
+    def _requeue(
+        self, dispatch: _Dispatch, exclude_worker: int | None, crashed: bool = False
+    ) -> None:
+        """Give a stranded request another attempt (or fail it out).
+
+        ``crashed`` marks requeues caused by the owning worker's death
+        (rather than a benign bounce off a retiring handle); a request
+        whose every attempt crashed its worker is quarantined as poison
+        when it fails out.
+        """
         dispatch.attempt += 1
+        if crashed:
+            dispatch.crashes += 1
         dispatch.exclude_worker = exclude_worker
         if dispatch.attempt >= self.max_attempts:
+            if dispatch.crashes >= self.max_attempts:
+                self.quarantine.record(
+                    poison_key(dispatch.expression, dispatch.operands)
+                )
             self._record(
                 dispatch,
                 error=WorkerCrashedError(
@@ -429,6 +551,17 @@ class ClusterServer:
         ------
         SessionClosedError
             If the server has been closed.
+        ControlThreadError
+            If a control thread has died: the backend can no longer
+            guarantee progress, so it refuses new work outright.
+        PoisonedRequestError
+            When the request matches a quarantined poison key (its
+            content already crashed a worker through every dispatch
+            attempt); it fails fast instead of re-killing workers.
+        DeadlineExceededError
+            When the request's deadline expired before (or while
+            blocking on) admission — the work is already dead, so no
+            admission slot is spent on it.
         ClusterBusyError
             When admission control rejects the request (the cluster is at
             ``max_inflight`` and the policy is ``"reject"``, or the
@@ -437,10 +570,41 @@ class ClusterServer:
         """
         if self._closed:
             raise SessionClosedError("ClusterServer is closed")
+        if self._control_error is not None:
+            raise self._control_error
         trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        deadline = resilience_deadline.take_pending()
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceededError(
+                "request exceeded its deadline before admission"
+            )
+        if len(self.quarantine):
+            # Only fingerprint operands once something is quarantined:
+            # the key hashes operand content, too costly for the clean
+            # hot path.
+            if self.quarantine.contains(poison_key(expression, operands)):
+                self._m_poisoned.inc()
+                raise PoisonedRequestError(
+                    "request matches a quarantined poison key "
+                    f"(crashed workers on {self.max_attempts} earlier attempts)"
+                )
         if trace is not None:
             trace.stamp("admission.enter")
-        self.admission.acquire()
+        try:
+            self.admission.acquire(
+                wait_budget=None if deadline is None else deadline.remaining_s()
+            )
+        except ClusterBusyError:
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceededError(
+                    "request exceeded its deadline while blocked on admission"
+                ) from None
+            raise
+        if deadline is not None and deadline.expired():
+            self.admission.release()
+            raise DeadlineExceededError(
+                "request exceeded its deadline while blocked on admission"
+            )
         if trace is not None:
             trace.stamp("admitted")
         request_id = next(self._ids)
@@ -457,6 +621,7 @@ class ClusterServer:
                     operands=operands,
                     submitted_at=now,
                     trace=trace,
+                    deadline=deadline,
                 )
             )
             self._dispatch_cv.notify()
@@ -586,18 +751,42 @@ class ClusterServer:
     # -- dispatcher ---------------------------------------------------------
     def _dispatch_loop(self) -> None:
         while True:
-            with self._dispatch_cv:
-                while not self._dispatch and not self._stopping.is_set():
-                    self._dispatch_cv.wait(0.2)
-                if self._stopping.is_set() and not self._dispatch:
-                    return
-                dispatch = self._dispatch.popleft()
             try:
-                self._dispatch_one(dispatch)
-            except Exception:  # noqa: BLE001 — dispatch failure = another attempt
-                self._requeue(dispatch, exclude_worker=dispatch.exclude_worker)
+                if self._dispatch_iteration():
+                    return
+            except Exception as error:  # noqa: BLE001 — contain control-plane death
+                self._control_thread_failed("dispatcher", error)
+                return
+
+    def _dispatch_iteration(self) -> bool:
+        """One dispatcher round; True means the loop should exit.
+
+        Split out of :meth:`_dispatch_loop` so the loop body is a single
+        instance-level seam: the containment path (and the replay
+        harness's ``control_thread_exception`` fault) wraps exactly one
+        iteration, and an exception escaping it is control-plane death,
+        not a request failure.
+        """
+        with self._dispatch_cv:
+            while not self._dispatch and not self._stopping.is_set():
+                self._dispatch_cv.wait(0.2)
+            if self._stopping.is_set() and not self._dispatch:
+                return True
+            dispatch = self._dispatch.popleft()
+        try:
+            self._dispatch_one(dispatch)
+        except Exception:  # noqa: BLE001 — dispatch failure = another attempt
+            self._requeue(dispatch, exclude_worker=dispatch.exclude_worker)
+        return False
 
     def _dispatch_one(self, dispatch: _Dispatch) -> None:
+        if dispatch.deadline is not None and dispatch.deadline.expired():
+            # Don't spend encode + ring space on work that is already
+            # dead; the future resolves with the deadline error now.
+            self._record(
+                dispatch, error=deadline_error(dispatch.request_id, "queue")
+            )
+            return
         if dispatch.trace is not None:
             # Overwritten on redispatch: the trace describes the attempt
             # that actually produced the result.
@@ -626,7 +815,16 @@ class ClusterServer:
         if dispatch.trace is not None:
             dispatch.trace.stamp("encode.done")
             envelope.trace_id = dispatch.trace.trace_id
+        if dispatch.deadline is not None:
+            envelope.deadline = dispatch.deadline.expires_at
         with self._state:
+            if self._control_error is not None:
+                # Containment already failed everything in flight; this
+                # request raced the harvest in the dispatch window, so
+                # fail it the same way instead of stranding it on a
+                # worker nobody is collecting from.
+                self._record(dispatch, error=self._control_error)
+                return
             if handle.retired:
                 # A restart harvested this handle's outstanding map while
                 # we were encoding: the ring bytes died with the old
@@ -657,6 +855,15 @@ class ClusterServer:
     # -- collector ----------------------------------------------------------
     def _collect_loop(self, handle: _WorkerHandle) -> None:
         """Drain one worker incarnation's response queue until superseded."""
+        try:
+            self._collect_run(handle)
+        except Exception as error:  # noqa: BLE001 — contain control-plane death
+            self._control_thread_failed(
+                f"collector-{handle.worker_id}.{handle.incarnation}", error
+            )
+
+    def _collect_run(self, handle: _WorkerHandle) -> None:
+        """The collector body (see :meth:`_collect_loop` for containment)."""
         import queue as _queue
 
         while True:
@@ -671,6 +878,11 @@ class ClusterServer:
             if message is None:
                 if self._handles[handle.worker_id] is not handle:
                     return  # replaced by a newer incarnation
+                if handle.retired:
+                    # Retired with no successor (budget-exhausted slot or
+                    # a deferred restart): the queue is torn down, so
+                    # polling it again would spin on OSError forever.
+                    return
                 continue
             if isinstance(message, tuple):
                 if message[0] == "stats_reply":
@@ -753,7 +965,25 @@ class ClusterServer:
         return trace
 
     def _record(self, dispatch: _Dispatch, output=None, error=None, trace_export=None) -> None:
-        """Publish one terminal result and update the serving counters."""
+        """Publish one terminal result and update the serving counters.
+
+        Idempotent per request id: control-plane containment can race a
+        collector already recording the same request, and the loser must
+        not release admission or bump counters a second time.  (A request
+        is recordable exactly while it is pending and resultless.)
+        """
+        with self._state:
+            rid = dispatch.request_id
+            if rid in self._results or rid not in self._pending:
+                return
+        if dispatch.deadline is not None and error is None and dispatch.deadline.expired():
+            # The worker finished, but past the deadline: the output is
+            # useless to the caller, so the terminal outcome is the same
+            # as if the request had been shed early.
+            output = None
+            error = deadline_error(rid, "execute")
+        if isinstance(error, DeadlineExceededError):
+            self._m_deadline.inc()
         finished = time.perf_counter()
         latency_ms = (finished - dispatch.submitted_at) * 1e3
         result = InsumResult(
@@ -804,22 +1034,101 @@ class ClusterServer:
         if sink is not None:
             sink(result)
 
+    # -- control-plane containment ------------------------------------------
+    def _control_thread_failed(self, name: str, error: BaseException) -> None:
+        """Contain the death of a control thread (dispatcher/collector/monitor).
+
+        The parent can no longer guarantee progress, so rather than leave
+        ``Future.result()`` callers hanging on requests nobody is driving,
+        every in-flight request fails with a
+        :class:`~repro.errors.ControlThreadError`, new submissions are
+        refused with the same error, and :meth:`health` reports degraded.
+        First failure wins; cascading failures in other threads are
+        absorbed silently.
+        """
+        wrapped = ControlThreadError(f"cluster control thread {name} died: {error!r}")
+        wrapped.__cause__ = error
+        with self._state:
+            if self._control_error is not None:
+                return
+            self._control_error = wrapped
+        try:
+            # "thread" is a reserved LogRecord attribute; and containment
+            # must survive a broken logging setup regardless.
+            self._log.error(
+                "control thread died; failing all in-flight requests",
+                extra={"control_thread": name, "error": repr(error)},
+            )
+        except Exception:  # noqa: BLE001 — logging must not block containment
+            pass
+        self._fail_all_inflight(wrapped)
+
+    def _fail_all_inflight(self, error: ControlThreadError) -> None:
+        """Resolve every queued and dispatched request with ``error``."""
+        with self._dispatch_cv:
+            queued = list(self._dispatch)
+            self._dispatch.clear()
+        stranded: list[_Dispatch] = []
+        with self._state:
+            for handle in self._handles:
+                stranded.extend(
+                    inflight.dispatch for inflight in handle.outstanding.values()
+                )
+                handle.outstanding.clear()
+            self._loads = [0] * self.num_workers
+        for dispatch in queued + stranded:
+            self._record(dispatch, error=error)
+
     # -- health monitor -----------------------------------------------------
     def _monitor_loop(self) -> None:
+        try:
+            self._monitor_run()
+        except Exception as error:  # noqa: BLE001 — contain control-plane death
+            self._control_thread_failed("monitor", error)
+
+    def _monitor_run(self) -> None:
+        """The monitor body (see :meth:`_monitor_loop` for containment)."""
         while not self._stopping.wait(self.health_interval):
+            self._sweep_expired()
             for worker_id in range(self.num_workers):
                 handle = self._handles[worker_id]
                 if self._stopping.is_set():
                     return
+                if self.supervisor.is_dead(worker_id):
+                    continue
                 if not handle.alive():
-                    self._restart_worker(worker_id)
+                    self._handle_worker_failure(worker_id)
                     continue
                 if self.heartbeat_timeout is not None:
                     last_beat = max(handle.resp_ring.heartbeat, handle.started_at)
                     if time.time() - last_beat > self.heartbeat_timeout:
-                        self._restart_worker(worker_id)
+                        self._handle_worker_failure(worker_id)
                         continue
                 self._sample_worker(handle)
+
+    def _sweep_expired(self) -> None:
+        """Fail queued dispatches whose deadline lapsed while they waited.
+
+        The dispatcher checks at dispatch time, but under load a request
+        can sit in the dispatch queue long past its deadline; the sweep
+        bounds that wait to one monitor interval.
+        """
+        now = time.time()
+        expired: list[_Dispatch] = []
+        with self._dispatch_cv:
+            if not self._dispatch:
+                return
+            retained = []
+            for dispatch in self._dispatch:
+                if dispatch.deadline is not None and dispatch.deadline.expired(now):
+                    expired.append(dispatch)
+                else:
+                    retained.append(dispatch)
+            if expired:
+                self._dispatch.clear()
+                self._dispatch.extend(retained)
+        for dispatch in expired:
+            self._record(dispatch, error=deadline_error(dispatch.request_id, "queue"))
 
     def _sample_worker(self, handle: _WorkerHandle) -> None:
         """Record one ``/proc`` RSS/CPU sample for a live worker."""
@@ -839,13 +1148,29 @@ class ClusterServer:
             worker=label,
         ).set(sample.cpu_seconds)
 
+    @property
+    def healthy_worker_count(self) -> int:
+        """Worker slots currently able to serve (alive and not retired).
+
+        Zero when the control plane has failed: live workers are useless
+        once nobody dispatches to them or collects from them.
+        """
+        if self._control_error is not None:
+            return 0
+        return sum(
+            1 for handle in self._handles if not handle.retired and handle.alive()
+        )
+
     def health(self) -> dict[str, Any]:
         """Liveness report for ``/healthz``: per-worker state and resources.
 
-        ``status`` is ``"ok"`` when every worker process is alive (and
-        ``"degraded"``/``"closed"`` otherwise); each worker entry carries
-        its pid, incarnation, heartbeat age, and the monitor thread's
-        latest RSS/CPU sample (None before the first sample lands).
+        ``status`` is ``"ok"`` when every worker process is alive and the
+        control plane is intact (``"degraded"``/``"closed"`` otherwise);
+        each worker entry carries its pid, incarnation, heartbeat age, and
+        the monitor thread's latest RSS/CPU sample (None before the first
+        sample lands).  ``dead_workers`` lists slots retired permanently
+        by the restart budget; ``control_error`` carries the containment
+        error when a control thread has died.
         """
         now = time.time()
         workers = []
@@ -872,7 +1197,9 @@ class ClusterServer:
             workers.append(entry)
         with self._state:
             restarts = self._restarts
-        status = "ok" if all_alive else "degraded"
+            control_error = self._control_error
+        dead_workers = list(self.supervisor.dead_workers)
+        status = "ok" if all_alive and control_error is None and not dead_workers else "degraded"
         if self._closed:
             status = "closed"
         return {
@@ -880,6 +1207,10 @@ class ClusterServer:
             "backend": "cluster",
             "restarts": restarts,
             "inflight": self.admission.inflight,
+            "healthy_workers": self.healthy_worker_count,
+            "dead_workers": dead_workers,
+            "control_error": repr(control_error) if control_error is not None else None,
+            "quarantined": len(self.quarantine),
             "workers": workers,
         }
 
@@ -1011,6 +1342,14 @@ class ClusterServer:
                     break
                 self._state.wait(remaining if remaining is not None else 0.5)
         self._stopping.set()
+        with self._restart_lock:
+            # Barrier against the monitor's crash-restart path: any
+            # restart already holding the lock finishes installing its
+            # replacement handle before the teardown below snapshots the
+            # pool, and any restart arriving later observes the stop flag
+            # under the lock and does nothing — so no worker (or shm
+            # segment) is ever spawned after its teardown pass.
+            pass
         with self._dispatch_cv:
             self._dispatch_cv.notify_all()
         for handle in self._handles:

@@ -38,6 +38,7 @@ from repro.cluster.codec import OperandDecoder, encode_result, portable_error
 from repro.cluster.messages import RequestEnvelope, ResponseEnvelope
 from repro.cluster.shm import ShmRing
 from repro.obs import trace as obs_trace
+from repro.resilience.deadline import Deadline, deadline_error
 
 
 def _reinit_after_fork() -> None:
@@ -91,7 +92,25 @@ def _serve_batch(
                 wtrace = obs_trace.maybe_start(envelope.trace_id)
             if wtrace is not None:
                 wtrace.stamp("worker.receive", received)
+            # Decode even when the deadline has passed: decoding applies
+            # the cache side-effects the parent mirrors from the
+            # descriptor stream and releases the envelope's ring space.
+            # Only *execution* is skipped for expired work.
             operands = decoder.decode(envelope)
+            deadline = Deadline.from_epoch(envelope.deadline)
+            if deadline is not None and deadline.expired():
+                response_q.put(
+                    ResponseEnvelope(
+                        request_id=envelope.request_id,
+                        worker_id=worker_id,
+                        incarnation=incarnation,
+                        error=portable_error(
+                            deadline_error(envelope.request_id, "worker")
+                        ),
+                    )
+                )
+                resp_ring.beat()
+                continue
             if wtrace is not None:
                 wtrace.stamp("decode.done")
                 wtrace.span_between("codec.decode", "worker.receive", "decode.done")

@@ -127,3 +127,41 @@ class ClusterBusyError(ServeError, RuntimeError):
 
 class WorkerCrashedError(ServeError, RuntimeError):
     """A request exhausted its dispatch attempts across worker crashes."""
+
+
+class PoisonedRequestError(WorkerCrashedError):
+    """A request matching a known worker-killing key was failed fast.
+
+    Raised when the poison quarantine (see
+    :class:`repro.resilience.supervisor.PoisonQuarantine`) recognises a
+    request whose key already crashed a worker ``max_attempts`` times:
+    instead of burning another worker incarnation on it, the request
+    fails immediately.  Deliberately *not* retryable — retrying would
+    defeat the quarantine.
+    """
+
+
+class DeadlineExceededError(ServeError, RuntimeError):
+    """The request's deadline expired before it produced a usable result.
+
+    Set a deadline with ``Session.submit(..., deadline_ms=...)``.  The
+    error is terminal wherever the expiry is detected — before dispatch,
+    in a queue, worker-side before execution, or at completion time when
+    the result lands too late to be useful — so the caller's
+    ``Future.result()`` resolves instead of waiting for work the serving
+    stack has already abandoned.  Deliberately *not* a ``TimeoutError``
+    subclass: a wait timeout means "still running, ask again", a missed
+    deadline is a terminal outcome.
+    """
+
+
+class ControlThreadError(ServeError, RuntimeError):
+    """A serving control thread (dispatcher/collector/monitor) died.
+
+    An unexpected exception in one of the cluster's control threads
+    means the parent can no longer guarantee progress, so every in-flight
+    request is failed with this error and the backend refuses new work —
+    a ``Future`` never hangs on a request nobody is driving.  The session
+    reports unhealthy; with a failover backend configured, new submits
+    route around the failed tier.
+    """

@@ -41,6 +41,7 @@ __all__ = [
     "get_registry",
     "validate_prometheus_text",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "RESILIENCE_METRIC_NAMES",
 ]
 
 #: Default histogram buckets for request latencies, in milliseconds.
@@ -66,6 +67,18 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
 
 #: Default buckets for small cardinalities (batch sizes, attempt counts).
 DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Metric names the resilience layer registers (deadline enforcement,
+#: session retries, failover routing, and crash-loop supervision) — one
+#: authoritative list for dashboards and the test suite, so a renamed
+#: series cannot silently drop off a Grafana board.
+RESILIENCE_METRIC_NAMES: tuple[str, ...] = (
+    "repro_deadline_expired_total",
+    "repro_retries_total",
+    "repro_failover_submits_total",
+    "repro_poisoned_requests_total",
+    "repro_dead_workers",
+)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

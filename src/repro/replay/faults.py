@@ -32,6 +32,24 @@ The fault catalogue (see ``docs/REPLAY.md`` for the full table):
     place* in shared client buffers, exercising the codec's checksum
     gate that must re-ship mutated arrays instead of serving the stale
     identity-cache entry.
+``control_thread_exception``
+    Raise from inside the cluster's dispatcher loop (via the
+    ``_dispatch_iteration`` seam).  Exercises control-plane containment:
+    every in-flight future must fail with
+    :class:`~repro.errors.ControlThreadError` — never hang — and a
+    session with ``failover`` configured must route subsequent submits
+    to its warm fallback backend.
+``crash_loop_worker``
+    SIGKILL the same worker slot repeatedly until its
+    :class:`~repro.resilience.WorkerSupervisor` restart budget is
+    exhausted and the slot goes permanently dead.  Exercises the token
+    bucket, router dead-set exclusion, and degraded health reporting.
+``deadline_storm``
+    Stamp a burst of consecutive records with an already-expired
+    ``deadline_ms``, forcing deterministic
+    :class:`~repro.errors.DeadlineExceededError` outcomes that the SLO
+    report must count in its own ``deadline`` bucket without breaking
+    conservation.
 """
 
 from __future__ import annotations
@@ -54,11 +72,18 @@ FAULT_KINDS = (
     "admission_saturation",
     "oversized_operand",
     "value_mutation",
+    "control_thread_exception",
+    "crash_loop_worker",
+    "deadline_storm",
 )
 
 #: How many consecutive records a ``value_mutation`` event forces into
 #: in-place reuse mode.
 MUTATION_WINDOW = 4
+
+#: How many consecutive records a ``deadline_storm`` event stamps with
+#: an already-expired deadline.
+DEADLINE_STORM_WINDOW = 4
 
 
 @dataclass(frozen=True)
@@ -101,7 +126,7 @@ class FaultSchedule:
         num_records:
             Length of the trace being replayed.
         kinds:
-            Which fault kinds to schedule (default: all four).
+            Which fault kinds to schedule (default: the full catalogue).
         events_per_kind:
             Number of events of each kind.
         """
@@ -153,6 +178,8 @@ class FaultInjector:
         self.applied: list[FaultEvent] = []
         self.skipped: list[FaultEvent] = []
         self._mutation_until = -1
+        self._storm_until = -1
+        self._storm_saved: tuple[bool, object] | None = None
         self._saved_window: int | None = None
         self._injected: list[tuple[Future, np.ndarray]] = []
 
@@ -188,6 +215,27 @@ class FaultInjector:
             elif event.kind == "oversized_operand":
                 self._inject_oversized(session)
                 self.applied.append(event)
+            elif event.kind == "control_thread_exception":
+                if self._break_control_thread(session):
+                    self.applied.append(event)
+                else:
+                    self.skipped.append(event)
+            elif event.kind == "crash_loop_worker":
+                if self._crash_loop_worker(session, event.param):
+                    self.applied.append(event)
+                else:
+                    self.skipped.append(event)
+            elif event.kind == "deadline_storm":
+                self._storm_until = index + DEADLINE_STORM_WINDOW
+                self.applied.append(event)
+        if index <= self._storm_until:
+            # Stamp an already-expired deadline on the record for this one
+            # submission; after_record restores the original extras value.
+            self._storm_saved = (
+                "deadline_ms" in record.extras,
+                record.extras.get("deadline_ms"),
+            )
+            record.extras["deadline_ms"] = 0.0
         return force_reuse
 
     # -- hook: after each record --------------------------------------------
@@ -205,6 +253,13 @@ class FaultInjector:
         # record it targeted; restore it on the next hook invocation or
         # here once the targeted submit has gone through.
         self._restore_admission(session)
+        if self._storm_saved is not None:
+            had_key, original = self._storm_saved
+            if had_key:
+                record.extras["deadline_ms"] = original
+            else:
+                record.extras.pop("deadline_ms", None)
+            self._storm_saved = None
 
     # -- hook: end of run ----------------------------------------------------
     def finalize(self, session: Session, timeout: float) -> tuple[int, int]:
@@ -237,7 +292,19 @@ class FaultInjector:
         pids = getattr(backend, "worker_pids", None)
         if not pids:
             return False
-        victim = pids[param % len(pids)]
+        # Never target a slot the supervisor already retired: its pid is
+        # a corpse (or a reused pid), and a crash_loop_worker fault
+        # earlier in the run may have exhausted its budget.
+        supervisor = getattr(backend, "supervisor", None)
+        candidates = [
+            (slot, pid)
+            for slot, pid in enumerate(pids)
+            if pid is not None
+            and (supervisor is None or not supervisor.is_dead(slot))
+        ]
+        if not candidates:
+            return False
+        _, victim = candidates[param % len(candidates)]
         try:
             os.kill(victim, signal.SIGKILL)
         except (OSError, ProcessLookupError):
@@ -252,6 +319,63 @@ class FaultInjector:
                 break
             time.sleep(0.01)
         return True
+
+    def _break_control_thread(self, session: Session) -> bool:
+        backend = session._backend
+        if getattr(backend, "_dispatch_iteration", None) is None:
+            return False
+        # Shadow the instance's dispatch seam with a raising wrapper; the
+        # dispatcher thread hits it on its next round and must contain the
+        # failure (fail in-flight futures, refuse new enqueues) rather
+        # than hang.  One-shot by construction: the dispatcher exits.
+        def raising_iteration() -> bool:
+            raise RuntimeError("injected control-plane fault")
+
+        backend._dispatch_iteration = raising_iteration  # type: ignore[method-assign]
+        # Nudge the dispatcher awake so the fault lands promptly even on
+        # an idle queue.
+        cv = getattr(backend, "_dispatch_cv", None)
+        if cv is not None:
+            with cv:
+                cv.notify_all()
+        # Wait for containment to land before the replay submits the next
+        # record: at time_scale=0 the whole tail would otherwise race the
+        # dying dispatcher into the primary and fail, instead of
+        # deterministically seeing the control error (and the failover
+        # path when one is configured).
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            if getattr(backend, "_control_error", None) is not None:
+                break
+            time.sleep(0.005)
+        return True
+
+    def _crash_loop_worker(self, session: Session, param: int) -> bool:
+        backend = session._backend
+        supervisor = getattr(backend, "supervisor", None)
+        pids = getattr(backend, "worker_pids", None)
+        if supervisor is None or not pids:
+            return False
+        slot = param % len(pids)
+        # Kill every incarnation the supervisor brings up until the slot's
+        # restart budget drains and it is marked permanently dead (bounded
+        # by a wall-clock budget so a generous restart budget cannot wedge
+        # the replay).
+        deadline = time.perf_counter() + 10.0
+        last_pid: int | None = None
+        while time.perf_counter() < deadline and not supervisor.is_dead(slot):
+            current = getattr(backend, "worker_pids", [])
+            if slot >= len(current):
+                break
+            pid = current[slot]
+            if pid != last_pid:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+                last_pid = pid
+            time.sleep(0.02)
+        return supervisor.is_dead(slot)
 
     def _saturate_admission(self, session: Session) -> bool:
         admission = getattr(session._backend, "admission", None)
@@ -286,6 +410,7 @@ class FaultInjector:
 
 
 __all__ = [
+    "DEADLINE_STORM_WINDOW",
     "FAULT_KINDS",
     "MUTATION_WINDOW",
     "FaultEvent",

@@ -36,7 +36,7 @@ from repro.serve.future import Future, FutureCancelledError
 from repro.utils.timing import LatencySummary, summarize
 
 #: Outcome labels a replayed request can end in.
-OUTCOMES = ("ok", "mismatch", "error", "rejected", "cancelled", "timeout")
+OUTCOMES = ("ok", "mismatch", "error", "rejected", "cancelled", "timeout", "deadline")
 
 
 @dataclass
@@ -61,8 +61,9 @@ class SLOReport:
 
     The count fields obey the conservation invariant the soak suite
     asserts: every submitted request is accounted for exactly once as
-    completed, failed, or cancelled (``rejected`` is a sub-category of
-    failed; ``mismatch`` a sub-category of completed).  ``attainment``
+    completed, failed, or cancelled (``rejected`` and
+    ``deadline_exceeded`` are sub-categories of failed; ``mismatch`` a
+    sub-category of completed).  ``attainment``
     is the fraction of trace requests that completed cleanly within
     ``slo_latency_ms``; the run *attains* when that fraction reaches
     ``attainment_target``.
@@ -78,6 +79,7 @@ class SLOReport:
     failed: int = 0
     cancelled: int = 0
     rejected: int = 0
+    deadline_exceeded: int = 0
     timeouts: int = 0
     injected: int = 0
     injected_failures: int = 0
@@ -137,6 +139,7 @@ class SLOReport:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
             "timeouts": self.timeouts,
             "injected": self.injected,
             "injected_failures": self.injected_failures,
@@ -183,7 +186,8 @@ class SLOReport:
             f"{self.attainment:.1%} of target {self.attainment_target:.0%} "
             f"(SLO {self.slo_latency_ms:.0f} ms): {self.submitted} submitted, "
             f"{self.completed} completed, {self.failed} failed "
-            f"({self.rejected} rejected, {self.timeouts} timeouts), "
+            f"({self.rejected} rejected, {self.deadline_exceeded} deadline, "
+            f"{self.timeouts} timeouts), "
             f"{self.cancelled} cancelled; p50/p95/p99 "
             f"{latency.p50_ms:.1f}/{latency.p95_ms:.1f}/{latency.p99_ms:.1f} ms; "
             f"goodput {self.goodput_rps:.1f} rps over {self.wall_seconds:.2f} s"
@@ -211,7 +215,7 @@ class SLOReport:
         )
         for name in (
             "submitted", "completed", "failed", "cancelled", "rejected",
-            "timeouts", "injected", "injected_failures",
+            "deadline_exceeded", "timeouts", "injected", "injected_failures",
             "digest_checked", "digest_mismatches",
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))
@@ -342,7 +346,12 @@ def replay(
                 _wait_quietly(occupant, drain_timeout)
         operands = materializer.materialize(record, force_reuse)
         submitted_at = time.perf_counter()
-        future = session.submit(record.expression, **operands)
+        deadline_ms = record.extras.get("deadline_ms")
+        future = session.submit(
+            record.expression,
+            deadline_ms=None if deadline_ms is None else float(deadline_ms),
+            **operands,
+        )
         report.submitted += 1
         for key in buffer_keys:
             busy_buffers[key] = future
@@ -404,6 +413,7 @@ def _settle(
 ) -> RequestOutcome:
     """Classify one pending future into a :class:`RequestOutcome`."""
     from repro.cluster import ClusterBusyError
+    from repro.errors import DeadlineExceededError
 
     slo_ms = report.slo_latency_ms
     try:
@@ -412,6 +422,15 @@ def _settle(
         report.cancelled += 1
         latency = _latency_ms(item)
         return RequestOutcome(item.index, item.tenant, "cancelled", latency, False)
+    except DeadlineExceededError as error:
+        # A request past its own deadline is a serving outcome
+        # ("deadline"), distinct from a drain-window timeout.
+        report.failed += 1
+        report.deadline_exceeded += 1
+        latency = _latency_ms(item)
+        return RequestOutcome(
+            item.index, item.tenant, "deadline", latency, False, error=str(error)
+        )
     except TimeoutError:
         item.future.cancel()
         report.failed += 1

@@ -1,0 +1,37 @@
+"""repro.resilience: deadlines, retries, failover, crash-loop supervision.
+
+The resilience layer turns the serving stack's reactive, local failure
+handling into explicit policy (see ``docs/RESILIENCE.md``):
+
+* :class:`Deadline` — per-request wall-clock expiry set at
+  ``Session.submit(deadline_ms=...)``, enforced before dispatch, in
+  queues, worker-side, and at completion time, terminating in
+  :class:`~repro.errors.DeadlineExceededError`.
+* :class:`RetryPolicy` — bounded retries with decorrelated-jitter
+  backoff for the failure modes a retry can fix (worker crashes,
+  admission rejection), safe because request execution is pure.
+* :class:`WorkerSupervisor` / :class:`PoisonQuarantine` — token-bucket
+  restart budgets per worker slot and fail-fast quarantine of request
+  keys that crash workers, so a crash loop degrades instead of spinning.
+* :func:`fallback_config` — derive a warm in-process fallback backend's
+  config for ``Session(..., failover="threaded")`` graceful degradation.
+
+Every class here is a pure state machine over injected clocks and RNGs;
+the threads, timers, and processes live in :mod:`repro.serve` and
+:mod:`repro.cluster`, which consume these policies.
+"""
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.failover import FALLBACK_BACKENDS, fallback_config
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import PoisonQuarantine, WorkerSupervisor, poison_key
+
+__all__ = [
+    "Deadline",
+    "FALLBACK_BACKENDS",
+    "PoisonQuarantine",
+    "RetryPolicy",
+    "WorkerSupervisor",
+    "fallback_config",
+    "poison_key",
+]

@@ -1,0 +1,134 @@
+"""Retry policy for idempotent serving requests.
+
+The serving stack may retry a failed request because the underlying
+:class:`~repro.runtime.server.RequestExecutor` is pure: executing the
+same ``(expression, operands)`` twice produces bitwise-identical output
+and mutates nothing, so a retry after a worker crash or an admission
+rejection is observationally equivalent to the first attempt landing
+late (PR 5's cross-backend parity is the standing proof).
+
+:class:`RetryPolicy` is deliberately *pure state*: it owns no threads,
+reads no clock, and sleeps never.  Callers ask :meth:`RetryPolicy.delay`
+for "how long until attempt N", then schedule the resubmission however
+suits them (:class:`~repro.serve.Session` uses a ``threading.Timer``);
+tests drive it with a fake clock and a seeded ``random.Random``.
+
+Backoff is exponential with *decorrelated jitter* (the AWS
+architecture-blog variant): each delay is drawn uniformly from
+``[base, prev * 3]`` and capped, which spreads concurrent retriers
+apart instead of re-synchronising them the way equal-jitter does.  When
+the failure carries its own hint — :class:`~repro.errors.ClusterBusyError`
+exposes ``retry_after`` from the admission controller's service-rate
+EMA — the hint is a *floor* on the drawn delay: retrying sooner than
+capacity frees is guaranteed wasted work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ClusterBusyError,
+    ControlThreadError,
+    PoisonedRequestError,
+    WorkerCrashedError,
+)
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """Decide whether and when a failed request should be retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first; ``1`` disables retries.
+    base_delay:
+        Lower bound (seconds) on every backoff draw.
+    max_delay:
+        Upper cap (seconds) on every backoff draw.
+    rng:
+        The jitter source; inject a seeded ``random.Random`` for
+        deterministic tests (defaults to a fresh unseeded instance).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay}"
+            )
+
+    def retryable(self, error: BaseException) -> bool:
+        """True when ``error`` is a failure mode a retry can fix.
+
+        Worker crashes and admission rejections are transient, and a
+        control-plane death indicts the *backend*, not the request — a
+        resubmit is safe (the executor is pure) and, with failover
+        configured, lands on the warm fallback tier.  A quarantined
+        poison key is not retryable (retrying would re-kill workers),
+        and every other error is deterministic — the same inputs would
+        fail the same way again.
+
+        Parameters
+        ----------
+        error:
+            The exception a request attempt failed with.
+        """
+        if isinstance(error, PoisonedRequestError):
+            return False
+        return isinstance(
+            error, (WorkerCrashedError, ClusterBusyError, ControlThreadError)
+        )
+
+    def should_retry(self, attempt: int, error: BaseException) -> bool:
+        """True when attempt number ``attempt`` (1-based) may be retried.
+
+        Parameters
+        ----------
+        attempt:
+            The attempt that just failed, counting from 1.
+        error:
+            The exception it failed with.
+        """
+        return attempt < self.max_attempts and self.retryable(error)
+
+    def delay(
+        self,
+        attempt: int,
+        error: BaseException | None = None,
+        prev_delay: float | None = None,
+    ) -> float:
+        """Seconds to wait before the attempt after ``attempt``.
+
+        Decorrelated jitter: uniform in ``[base_delay, 3 * prev]``
+        capped at ``max_delay``, where ``prev`` is the previous draw
+        (``base_delay`` for the first retry).  A ``retry_after`` hint on
+        the error floors the result — backing off less than the server's
+        own capacity estimate cannot succeed.
+
+        Parameters
+        ----------
+        attempt:
+            The attempt that just failed, counting from 1 (unused by the
+            draw itself but kept for signature clarity at call sites).
+        error:
+            The failure, consulted for a ``retry_after`` hint.
+        prev_delay:
+            The delay drawn for the previous retry, if any.
+        """
+        prev = self.base_delay if prev_delay is None else max(prev_delay, self.base_delay)
+        drawn = min(self.max_delay, self.rng.uniform(self.base_delay, prev * 3.0))
+        if isinstance(error, ClusterBusyError) and error.retry_after > 0:
+            drawn = max(drawn, min(self.max_delay, error.retry_after))
+        return drawn

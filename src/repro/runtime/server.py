@@ -35,9 +35,11 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.insum.api import Insum, SparseEinsum
-from repro.errors import FutureCancelledError, SessionClosedError
+from repro.errors import DeadlineExceededError, FutureCancelledError, SessionClosedError
 from repro.formats.base import SparseFormat
 from repro.obs import trace as obs_trace
+from repro.resilience import deadline as resilience_deadline
+from repro.resilience.deadline import deadline_error, expired_result
 from repro.obs.logs import get_logger
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
 from repro.runtime.sharding import ShardedExecutor
@@ -67,7 +69,10 @@ class InsumRequest:
     handed back to the caller and later passed to :meth:`InsumServer.collect`.
     ``submitted_at`` (a ``perf_counter`` timestamp) feeds the queue-delay
     and end-to-end latency statistics; ``trace`` is the request's
-    :class:`~repro.obs.trace.Trace` (None when tracing is disabled).
+    :class:`~repro.obs.trace.Trace` (None when tracing is disabled);
+    ``deadline`` is the request's wall-clock
+    :class:`~repro.resilience.Deadline` (None when unbounded) — expired
+    requests are skipped at claim time and converted at record time.
     """
 
     request_id: int
@@ -75,6 +80,7 @@ class InsumRequest:
     operands: dict[str, Any]
     submitted_at: float
     trace: Any = None
+    deadline: Any = None
 
 
 @dataclass
@@ -460,6 +466,11 @@ class InsumServer:
             "Requests per executed coalesced batch.",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._m_deadline = registry.counter(
+            "repro_deadline_expired_total",
+            "Requests that exceeded their deadline, by serving tier.",
+            backend="threaded",
+        )
 
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"insum-worker-{i}", daemon=True)
@@ -512,10 +523,18 @@ class InsumServer:
         ------
         SessionClosedError
             If the server has been closed.
+        DeadlineExceededError
+            When the request carried a deadline that had already expired
+            at enqueue time (no ticket is created for dead work).
         """
         if self._closed:
             raise SessionClosedError("InsumServer is closed")
         trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        deadline = resilience_deadline.take_pending()
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceededError(
+                "request exceeded its deadline before it was enqueued"
+            )
         if trace is not None:
             trace.stamp("queued")
         request = InsumRequest(
@@ -524,6 +543,7 @@ class InsumServer:
             operands=operands,
             submitted_at=time.perf_counter(),
             trace=trace,
+            deadline=deadline,
         )
         self._window.open_at(request.submitted_at)
         with self._done:
@@ -698,7 +718,24 @@ class InsumServer:
                 self._queue.task_done()
 
     def _claim(self, request: InsumRequest) -> bool:
-        """Claim one dequeued request for execution; False when cancelled."""
+        """Claim one dequeued request for execution; False when cancelled
+        or expired (an expired request records its deadline error instead
+        of spending worker time on output nobody can use)."""
+        if request.deadline is not None and request.deadline.expired():
+            with self._done:
+                # A concurrent cancel of the same ticket must not leak
+                # its entry in the cancelled set.
+                self._cancelled.discard(request.request_id)
+            self._record(
+                InsumResult(
+                    request_id=request.request_id,
+                    expression=request.expression,
+                    error=deadline_error(request.request_id, "queue"),
+                    queue_ms=(time.perf_counter() - request.submitted_at) * 1e3,
+                    trace=request.trace,
+                )
+            )
+            return False
         with self._done:
             if request.request_id in self._cancelled:
                 self._cancelled.discard(request.request_id)
@@ -778,6 +815,7 @@ class InsumServer:
                 },
             )
         result.latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+        expired_result(result, request.deadline)
         if trace is not None:
             trace.stamp("exec.end")
             trace.span_between("queue.wait", "queued", "exec.start")
@@ -864,11 +902,14 @@ class InsumServer:
                 latency_ms=(finished - request.submitted_at) * 1e3,
                 trace=trace,
             )
+            expired_result(result, request.deadline)
             self._record(result)
 
     def _record(self, result: InsumResult) -> None:
         """Publish one terminal result and update the serving counters."""
         finished = time.perf_counter()
+        if isinstance(result.error, DeadlineExceededError):
+            self._m_deadline.inc()
         if isinstance(result.error, FutureCancelledError):
             self._window.observe_cancelled()
         else:

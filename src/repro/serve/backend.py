@@ -18,6 +18,8 @@ import time
 from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.obs import trace as obs_trace
+from repro.resilience import deadline as resilience_deadline
+from repro.resilience.deadline import expired_result
 from repro.runtime.server import InsumResult, RequestExecutor
 from repro.runtime.stats import RuntimeStats, ServingWindow
 from repro.serve.config import ServeConfig
@@ -82,12 +84,19 @@ class InlineBackend:
 
     def enqueue(self, expression: str, **operands: Any) -> int:
         """Execute one request now; its result is delivered before return."""
-        from repro.errors import SessionClosedError
+        from repro.errors import DeadlineExceededError, SessionClosedError
 
         if self._closed:
             raise SessionClosedError("inline backend is closed")
-        request_id = next(self._ids)
         trace = obs_trace.take_pending() or obs_trace.maybe_start()
+        deadline = resilience_deadline.take_pending()
+        if deadline is not None and deadline.expired():
+            # Inline has no queue to linger in: expiry can only happen
+            # before execution starts or while it runs (converted below).
+            raise DeadlineExceededError(
+                "request exceeded its deadline before execution"
+            )
+        request_id = next(self._ids)
         if trace is not None:
             trace.stamp("exec.start")
         started = time.perf_counter()
@@ -99,6 +108,7 @@ class InlineBackend:
             result.error = error
         finished = time.perf_counter()
         result.latency_ms = (finished - started) * 1e3
+        expired_result(result, deadline)
         if trace is not None:
             trace.stamp("exec.end")
             trace.span_between("queue.wait", "submit", "exec.start")

@@ -48,6 +48,13 @@ _FIELD_BACKENDS: dict[str, frozenset[str]] = {
     "health_interval": frozenset({"cluster"}),
     "heartbeat_timeout": frozenset({"cluster"}),
     "start_method": frozenset({"cluster"}),
+    "retry_attempts": frozenset({"cluster"}),
+    "retry_base_delay": frozenset({"cluster"}),
+    "retry_max_delay": frozenset({"cluster"}),
+    "restart_budget": frozenset({"cluster"}),
+    "restart_window": frozenset({"cluster"}),
+    "failover": frozenset({"cluster"}),
+    "failover_floor": frozenset({"cluster"}),
 }
 
 #: Environment-variable prefix understood by :meth:`ServeConfig.from_env`.
@@ -76,6 +83,12 @@ def _parse_env_value(name: str, raw: str) -> Any:
         "spill_threshold": int,
         "health_interval": float,
         "heartbeat_timeout": float,
+        "retry_attempts": int,
+        "retry_base_delay": float,
+        "retry_max_delay": float,
+        "restart_budget": int,
+        "restart_window": float,
+        "failover_floor": int,
     }
     kind = field_types.get(name, str)
     try:
@@ -124,6 +137,19 @@ class ServeConfig:
         Cluster tuning knobs, forwarded verbatim to
         :class:`~repro.cluster.server.ClusterServer`; ``heartbeat_timeout=0``
         disables the staleness check (the cluster's ``None``).
+    retry_attempts / retry_base_delay / retry_max_delay:
+        Cluster: session-level :class:`~repro.resilience.RetryPolicy` for
+        retryable failures (worker crashes, admission rejection);
+        ``retry_attempts=1`` disables retries (the default).
+    restart_budget / restart_window:
+        Cluster: the :class:`~repro.resilience.WorkerSupervisor` token
+        bucket — at most ``restart_budget`` restarts per worker slot per
+        ``restart_window`` seconds; an exhausted slot is permanently dead.
+    failover / failover_floor:
+        Cluster: keep a warm in-process fallback backend (``"inline"`` or
+        ``"threaded"``) and route new submits to it while fewer than
+        ``failover_floor`` workers are healthy or the cluster's control
+        plane has failed (see ``docs/RESILIENCE.md``).
     """
 
     workers: int | None = None
@@ -146,6 +172,13 @@ class ServeConfig:
     health_interval: float | None = None
     heartbeat_timeout: float | None = None
     start_method: str | None = None
+    retry_attempts: int | None = None
+    retry_base_delay: float | None = None
+    retry_max_delay: float | None = None
+    restart_budget: int | None = None
+    restart_window: float | None = None
+    failover: str | None = None
+    failover_floor: int | None = None
 
     def validate(self, backend: str) -> None:
         """Reject this config when it is meaningless for ``backend``.
@@ -188,6 +221,26 @@ class ServeConfig:
         if self.tune not in ("auto", "model", "measure"):
             raise ServeConfigError(
                 f"tune must be 'auto', 'model', or 'measure', got {self.tune!r}"
+            )
+        if self.retry_attempts is not None and self.retry_attempts < 1:
+            raise ServeConfigError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.restart_budget is not None and self.restart_budget < 0:
+            raise ServeConfigError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.restart_window is not None and self.restart_window <= 0:
+            raise ServeConfigError(
+                f"restart_window must be > 0, got {self.restart_window}"
+            )
+        if self.failover is not None and self.failover not in ("inline", "threaded"):
+            raise ServeConfigError(
+                f"failover must be 'inline' or 'threaded', got {self.failover!r}"
+            )
+        if self.failover_floor is not None and self.failover_floor < 1:
+            raise ServeConfigError(
+                f"failover_floor must be >= 1, got {self.failover_floor}"
             )
 
     @classmethod
@@ -263,6 +316,8 @@ class ServeConfig:
             ("spill_threshold", "spill_threshold"),
             ("health_interval", "health_interval"),
             ("start_method", "start_method"),
+            ("restart_budget", "restart_budget"),
+            ("restart_window", "restart_window"),
         ):
             value = getattr(self, field_name)
             if value is not None:

@@ -38,6 +38,10 @@ class Future:
     def __init__(self, session: Any = None):
         self._session = session
         self._ticket: int | None = None
+        #: Which of the session's backends owns the ticket ("primary" or
+        #: "fallback") — ticket counters restart at zero per backend, so
+        #: the tag disambiguates cancel routing and result keying.
+        self._backend_tag = "primary"
         self._cond = threading.Condition()
         self._state = _PENDING
         self._record: InsumResult | None = None
@@ -99,7 +103,7 @@ class Future:
         session, ticket = self._session, self._ticket
         if session is None or ticket is None:
             return False
-        if not session._try_cancel(ticket):
+        if not session._try_cancel(ticket, self._backend_tag):
             return False
         with self._cond:
             if self._state == _CANCELLED:

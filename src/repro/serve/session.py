@@ -40,6 +40,10 @@ from repro.obs import trace as obs_trace
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.ops import OPS_PORT_ENV, OpsServer
+from repro.resilience import deadline as resilience_deadline
+from repro.resilience.deadline import Deadline
+from repro.resilience.failover import fallback_config
+from repro.resilience.retry import RetryPolicy
 from repro.runtime.server import InsumResult
 from repro.serve.backend import ExecutorBackend, build_backend
 from repro.serve.config import ServeConfig
@@ -48,6 +52,31 @@ from repro.serve.stats import ServeStats
 
 #: Environment variable selecting the backend for :meth:`Session.from_env`.
 BACKEND_ENV = "REPRO_SERVE_BACKEND"
+
+
+class _RetryState:
+    """Per-future resubmission bookkeeping for the session retry policy.
+
+    Holds everything a retry attempt needs to re-enqueue the request —
+    the original expression/operands (safe to replay because
+    :class:`~repro.runtime.server.RequestExecutor` is pure) plus the
+    attempt counter and the previous backoff delay feeding the
+    decorrelated-jitter schedule.
+    """
+
+    __slots__ = ("expression", "operands", "deadline", "attempts", "prev_delay")
+
+    def __init__(
+        self,
+        expression: str,
+        operands: dict[str, Any],
+        deadline: Deadline | None,
+    ):
+        self.expression = expression
+        self.operands = operands
+        self.deadline = deadline
+        self.attempts = 0
+        self.prev_delay: float | None = None
 
 
 class Session:
@@ -76,16 +105,55 @@ class Session:
         self.config = config
         self._backend_name = backend
         self._lock = threading.Lock()
-        self._futures: dict[int, Future] = {}
+        #: Futures keyed by ``(backend_tag, ticket)`` — the primary and
+        #: fallback backends number tickets independently from zero, so
+        #: the tag is part of the identity.
+        self._futures: dict[tuple[str, int], Future] = {}
         #: Results that arrived before their ticket was mapped (the inline
         #: backend always resolves inside ``enqueue``, and a fast worker
         #: can beat the mapping too).
-        self._early: dict[int, InsumResult] = {}
+        self._early: dict[tuple[str, int], InsumResult] = {}
         self._closed = False
         self._ops: OpsServer | None = None
         self._log = get_logger("serve.session")
         self._backend: ExecutorBackend = build_backend(backend, config)
-        self._backend.set_result_sink(self._on_result)
+        self._backend.set_result_sink(functools.partial(self._on_result, "primary"))
+        # -- resilience: retry policy (cluster only; attempts=1 disables) --
+        self._retry: RetryPolicy | None = None
+        if config.retry_attempts is not None and config.retry_attempts > 1:
+            retry_kwargs: dict[str, Any] = {"max_attempts": config.retry_attempts}
+            if config.retry_base_delay is not None:
+                retry_kwargs["base_delay"] = config.retry_base_delay
+            if config.retry_max_delay is not None:
+                retry_kwargs["max_delay"] = config.retry_max_delay
+            self._retry = RetryPolicy(**retry_kwargs)
+        self._retry_states: dict[Future, _RetryState] = {}
+        #: Armed resubmission timers -> (future, last failed result); close()
+        #: claims entries to cancel the timer and deliver the stored error.
+        self._pending_retries: dict[threading.Timer, tuple[Future, InsumResult]] = {}
+        # -- resilience: warm failover backend --
+        self._fallback: ExecutorBackend | None = None
+        self._failover_floor = 1
+        if config.failover is not None:
+            self._fallback = build_backend(
+                config.failover, fallback_config(config, config.failover)
+            )
+            self._fallback.set_result_sink(
+                functools.partial(self._on_result, "fallback")
+            )
+            if config.failover_floor is not None:
+                self._failover_floor = config.failover_floor
+        registry = get_registry()
+        self._m_retries = registry.counter(
+            "repro_retries_total",
+            "Resubmissions scheduled by the session-level retry policy.",
+            backend=backend,
+        )
+        self._m_failover = registry.counter(
+            "repro_failover_submits_total",
+            "Submits routed to the warm fallback backend while the primary was unhealthy.",
+            backend=backend,
+        )
         port_env = os.environ.get(OPS_PORT_ENV, "").strip()
         if port_env:
             try:
@@ -122,7 +190,9 @@ class Session:
         return self._backend_name
 
     # -- submission ---------------------------------------------------------
-    def submit(self, expression: str, **operands: Any) -> Future:
+    def submit(
+        self, expression: str, *, deadline_ms: float | None = None, **operands: Any
+    ) -> Future:
         """Submit one request; returns its :class:`Future` immediately.
 
         Parameters
@@ -130,6 +200,14 @@ class Session:
         expression:
             The Einsum to execute — raw indirect, or format-agnostic with
             a sparse operand bound.
+        deadline_ms:
+            Optional per-request deadline, in milliseconds from now.  The
+            deadline travels with the request through every stage —
+            admission wait, dispatch queue, even into cluster worker
+            processes — and an expired request resolves its future with
+            :class:`~repro.errors.DeadlineExceededError` instead of
+            executing.  (``deadline_ms`` is reserved; an operand cannot
+            use that name.)
         **operands:
             Operand tensors by name (:class:`numpy.ndarray` and/or
             :class:`~repro.formats.base.SparseFormat` instances).
@@ -137,6 +215,11 @@ class Session:
         Serving-tier failures (e.g. a cluster admission rejection) do not
         raise here: they resolve the returned future, so error handling
         lives in one place — :meth:`Future.result` — on every backend.
+        When the config sets ``retry_attempts > 1``, retryable failures
+        (worker crashes, admission rejections) are transparently
+        resubmitted with backoff before the future resolves; when it sets
+        ``failover``, new submits route to the warm fallback backend
+        while the cluster is below its healthy-worker floor.
 
         Raises
         ------
@@ -147,29 +230,71 @@ class Session:
         if self._closed:
             raise SessionClosedError("Session is closed")
         future = Future(self)
+        deadline = None if deadline_ms is None else Deadline.after_ms(deadline_ms)
+        state = None
+        if self._retry is not None:
+            state = _RetryState(expression, dict(operands), deadline)
+            with self._lock:
+                self._retry_states[future] = state
+        self._submit_attempt(future, expression, operands, deadline, state, initial=True)
+        return future
+
+    def _submit_attempt(
+        self,
+        future: Future,
+        expression: str,
+        operands: dict[str, Any],
+        deadline: Deadline | None,
+        state: _RetryState | None,
+        initial: bool,
+    ) -> None:
+        """Run one enqueue attempt for ``future`` (initial or retry)."""
+        tag = "fallback" if self._use_fallback() else "primary"
+        backend = self._fallback if tag == "fallback" else self._backend
+        assert backend is not None
+        if tag == "fallback":
+            self._m_failover.inc()
+        if state is not None:
+            state.attempts += 1
         trace = obs_trace.maybe_start()
         if trace is not None:
             # Parked thread-locally for the backend's enqueue (same
             # thread) to claim; cleared below if enqueue never did.
             trace.stamp("submit")
+            if state is not None and state.attempts > 1:
+                trace.stamp(f"retry.{state.attempts}")
             obs_trace.push_pending(trace)
+        if deadline is not None:
+            resilience_deadline.push_pending(deadline)
         try:
-            ticket = self._backend.enqueue(expression, **operands)
-        except SessionClosedError:
+            ticket = backend.enqueue(expression, **operands)
+        except SessionClosedError as error:
             obs_trace.take_pending()
-            raise
+            resilience_deadline.take_pending()
+            if initial:
+                with self._lock:
+                    self._retry_states.pop(future, None)
+                raise
+            self._resolve_attempt(
+                future, state, InsumResult(request_id=-1, expression="", error=error)
+            )
+            return
         except ServeError as error:
             obs_trace.take_pending()
-            future._reject(error)
-            return future
+            resilience_deadline.take_pending()
+            self._resolve_attempt(
+                future, state, InsumResult(request_id=-1, expression="", error=error)
+            )
+            return
         future._ticket = ticket
+        future._backend_tag = tag
+        key = (tag, ticket)
         with self._lock:
-            early = self._early.pop(ticket, None)
+            early = self._early.pop(key, None)
             if early is None:
-                self._futures[ticket] = future
+                self._futures[key] = future
         if early is not None:
-            future._deliver(early)
-        return future
+            self._resolve_attempt(future, state, early)
 
     def submit_many(self, requests: Iterable[tuple[str, dict[str, Any]]]) -> list[Future]:
         """Submit ``(expression, operands)`` pairs; one future per request.
@@ -275,18 +400,108 @@ class Session:
                 task.cancel()
 
     # -- completion plumbing (sink side) ------------------------------------
-    def _on_result(self, result: InsumResult) -> None:
-        """The backend's result sink: resolve the ticket's future."""
+    def _on_result(self, tag: str, result: InsumResult) -> None:
+        """A backend's result sink: resolve the ``(tag, ticket)`` future."""
+        key = (tag, result.request_id)
         with self._lock:
-            future = self._futures.pop(result.request_id, None)
+            future = self._futures.pop(key, None)
             if future is None:
-                self._early[result.request_id] = result
+                self._early[key] = result
                 return
+            state = self._retry_states.get(future)
+        self._resolve_attempt(future, state, result)
+
+    def _resolve_attempt(
+        self, future: Future, state: _RetryState | None, result: InsumResult
+    ) -> None:
+        """Deliver a terminal result — or intercept it for a retry.
+
+        A retryable error (worker crash, admission rejection) with
+        attempts remaining schedules a backoff resubmission instead of
+        resolving the future; everything else delivers immediately.
+        """
+        error = result.error
+        if (
+            self._retry is not None
+            and state is not None
+            and error is not None
+            and not self._closed
+            and not future.done()
+            and self._retry.should_retry(state.attempts, error)
+        ):
+            self._schedule_retry(future, state, result)
+            return
+        with self._lock:
+            self._retry_states.pop(future, None)
         future._deliver(result)
 
-    def _try_cancel(self, ticket: int) -> bool:
-        """Forward a future's cancel request to the backend."""
-        return self._backend.try_cancel(ticket)
+    def _schedule_retry(
+        self, future: Future, state: _RetryState, result: InsumResult
+    ) -> None:
+        """Arm a backoff timer that resubmits ``future``'s request."""
+        assert self._retry is not None and result.error is not None
+        delay = self._retry.delay(
+            state.attempts, error=result.error, prev_delay=state.prev_delay
+        )
+        state.prev_delay = delay
+        self._m_retries.inc()
+        self._log.info(
+            "retrying request after retryable failure",
+            extra={
+                "attempt": state.attempts,
+                "delay_s": round(delay, 4),
+                "error": repr(result.error),
+            },
+        )
+
+        def fire() -> None:
+            with self._lock:
+                entry = self._pending_retries.pop(timer, None)
+            if entry is None:
+                return  # close() claimed the timer and delivered the error
+            if future.cancelled():
+                with self._lock:
+                    self._retry_states.pop(future, None)
+                return
+            self._submit_attempt(
+                future, state.expression, state.operands, state.deadline, state,
+                initial=False,
+            )
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        with self._lock:
+            if self._closed:
+                self._retry_states.pop(future, None)
+                deliver_now = True
+            else:
+                self._pending_retries[timer] = (future, result)
+                deliver_now = False
+        if deliver_now:
+            future._deliver(result)
+        else:
+            timer.start()
+
+    def _use_fallback(self) -> bool:
+        """True when new submits should route to the warm fallback backend.
+
+        The primary is considered unhealthy when its healthy-worker count
+        (dead slots and control-plane failures excluded) has fallen below
+        the configured ``failover_floor``.
+        """
+        if self._fallback is None:
+            return False
+        healthy = getattr(self._backend, "healthy_worker_count", None)
+        if healthy is None:
+            return False
+        return int(healthy) < self._failover_floor
+
+    def _try_cancel(self, ticket: int, tag: str = "primary") -> bool:
+        """Forward a future's cancel request to the backend that owns it."""
+        backend = self._fallback if tag == "fallback" else self._backend
+        if backend is None:
+            return False
+        return backend.try_cancel(ticket)
 
     # -- lifecycle ----------------------------------------------------------
     def drain(self, timeout: float | None = None) -> bool:
@@ -334,13 +549,28 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        # Cancel armed retry timers first and resolve their futures with
+        # the last failed attempt's error — a cancelled timer never fires,
+        # so leaving these pending would hang drain() (and any waiter).
+        with self._lock:
+            pending = dict(self._pending_retries)
+            self._pending_retries.clear()
+        for timer, (future, result) in pending.items():
+            timer.cancel()
+            with self._lock:
+                self._retry_states.pop(future, None)
+            future._deliver(result)
         if self._ops is not None:
             self._ops.stop()
             self._ops = None
         try:
             self.drain(timeout)
         finally:
-            self._backend.close()
+            try:
+                self._backend.close()
+            finally:
+                if self._fallback is not None:
+                    self._fallback.close()
 
     def __enter__(self) -> "Session":
         """Enter the context; the session is usable immediately."""
@@ -382,6 +612,15 @@ class Session:
                 "workers": [],
             }
         report = probe()
+        if self._fallback is not None:
+            report = dict(
+                report,
+                failover={
+                    "backend": self.config.failover,
+                    "floor": self._failover_floor,
+                    "active": self._use_fallback(),
+                },
+            )
         if self._closed:
             report = dict(report, status="closed")
         return report

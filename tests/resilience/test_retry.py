@@ -1,0 +1,109 @@
+"""Unit tests for RetryPolicy: pure state, seeded RNG, zero sleeps."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ClusterBusyError,
+    ControlThreadError,
+    DeadlineExceededError,
+    PoisonedRequestError,
+    SessionClosedError,
+    WorkerCrashedError,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+def seeded_policy(**kwargs) -> RetryPolicy:
+    kwargs.setdefault("rng", random.Random(1234))
+    return RetryPolicy(**kwargs)
+
+
+class TestClassification:
+    def test_transient_failures_are_retryable(self):
+        policy = seeded_policy()
+        assert policy.retryable(WorkerCrashedError("worker died"))
+        assert policy.retryable(ClusterBusyError(8, 8, 0.02))
+        # Control-plane death indicts the backend, not the request: a
+        # resubmit is safe and (with failover) lands on the fallback.
+        assert policy.retryable(ControlThreadError("dispatcher died"))
+
+    def test_deterministic_failures_are_not(self):
+        policy = seeded_policy()
+        assert not policy.retryable(ValueError("bad operand"))
+        assert not policy.retryable(SessionClosedError("closed"))
+        assert not policy.retryable(DeadlineExceededError("too late"))
+
+    def test_poison_is_never_retryable_despite_subclassing_crash(self):
+        policy = seeded_policy()
+        poison = PoisonedRequestError("quarantined")
+        assert isinstance(poison, WorkerCrashedError)
+        assert not policy.retryable(poison)
+
+    def test_should_retry_respects_attempt_budget(self):
+        policy = seeded_policy(max_attempts=3)
+        crash = WorkerCrashedError("boom")
+        assert policy.should_retry(1, crash)
+        assert policy.should_retry(2, crash)
+        assert not policy.should_retry(3, crash)
+        assert not policy.should_retry(1, ValueError("deterministic"))
+
+    def test_single_attempt_disables_retries(self):
+        policy = seeded_policy(max_attempts=1)
+        assert not policy.should_retry(1, WorkerCrashedError("boom"))
+
+
+class TestBackoff:
+    def test_delays_stay_within_bounds(self):
+        policy = seeded_policy(base_delay=0.05, max_delay=2.0)
+        prev = None
+        for attempt in range(1, 50):
+            delay = policy.delay(attempt, prev_delay=prev)
+            assert 0.05 <= delay <= 2.0
+            prev = delay
+
+    def test_decorrelated_jitter_is_deterministic_under_a_seed(self):
+        a = seeded_policy(rng=random.Random(7))
+        b = seeded_policy(rng=random.Random(7))
+        draws_a = [a.delay(i) for i in range(1, 10)]
+        draws_b = [b.delay(i) for i in range(1, 10)]
+        assert draws_a == draws_b
+
+    def test_first_retry_draw_uses_base_as_prev(self):
+        policy = seeded_policy(base_delay=0.1, max_delay=10.0)
+        # prev defaults to base, so the draw is uniform in [base, 3*base].
+        for _ in range(100):
+            assert 0.1 <= policy.delay(1) <= 0.3
+
+    def test_retry_after_hint_floors_the_draw(self):
+        policy = seeded_policy(base_delay=0.01, max_delay=2.0)
+        busy = ClusterBusyError(8, 8, 0.5)
+        for _ in range(50):
+            assert policy.delay(1, error=busy) >= 0.5
+
+    def test_retry_after_hint_is_still_capped(self):
+        policy = seeded_policy(base_delay=0.01, max_delay=0.2)
+        busy = ClusterBusyError(8, 8, 60.0)
+        assert policy.delay(1, error=busy) <= 0.2
+
+    def test_prev_delay_below_base_is_lifted_to_base(self):
+        policy = seeded_policy(base_delay=0.1, max_delay=10.0)
+        for _ in range(100):
+            assert 0.1 <= policy.delay(2, prev_delay=0.001) <= 0.3
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_inverted_delay_bounds(self):
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-0.1)

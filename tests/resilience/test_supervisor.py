@@ -1,0 +1,143 @@
+"""Unit tests for WorkerSupervisor and PoisonQuarantine (injected clock)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.supervisor import PoisonQuarantine, WorkerSupervisor, poison_key
+
+
+class TestWorkerSupervisor:
+    def test_restarts_within_budget_then_exhausts(self):
+        sup = WorkerSupervisor(budget=2, window=1000.0, backoff_base=0.0)
+        assert sup.decide(0, now=0.0) == "restart"
+        assert sup.decide(0, now=10.0) == "restart"
+        # Window is huge, so effectively no refill: third crash kills it.
+        assert sup.decide(0, now=20.0) == "exhausted"
+        assert sup.is_dead(0)
+        assert sup.dead_workers == (0,)
+        # Death is permanent, whatever the clock says later.
+        assert sup.decide(0, now=1_000_000.0) == "exhausted"
+
+    def test_zero_budget_dies_on_first_crash(self):
+        sup = WorkerSupervisor(budget=0, window=60.0)
+        assert sup.decide(3, now=0.0) == "exhausted"
+        assert sup.is_dead(3)
+
+    def test_tokens_refill_over_the_window(self):
+        sup = WorkerSupervisor(budget=2, window=10.0, backoff_base=0.0, backoff_cap=0.0)
+        assert sup.decide(0, now=0.0) == "restart"
+        assert sup.decide(0, now=1.0) == "restart"
+        # Bucket empty; 5 seconds refills one of two tokens (2/10 per s).
+        assert sup.decide(0, now=6.0) == "restart"
+        assert not sup.is_dead(0)
+
+    def test_backoff_defers_a_fast_crash_loop(self):
+        sup = WorkerSupervisor(budget=8, window=60.0, backoff_base=0.1, backoff_cap=2.0)
+        assert sup.decide(0, now=0.0) == "restart"  # streak -> 1
+        # Second crash lands immediately: backoff of 0.1 s has not elapsed.
+        assert sup.decide(0, now=0.01) == "defer"
+        assert sup.backoff_remaining(0, now=0.01) == pytest.approx(0.09)
+        # Once the backoff elapses the restart is granted (streak -> 2)...
+        assert sup.decide(0, now=0.15) == "restart"
+        # ...and the next backoff has doubled.
+        assert sup.decide(0, now=0.2) == "defer"
+        assert sup.backoff_remaining(0, now=0.2) == pytest.approx(0.15)
+
+    def test_stable_uptime_resets_the_streak(self):
+        sup = WorkerSupervisor(budget=8, window=60.0, backoff_base=0.1, backoff_cap=1.0)
+        assert sup.decide(0, now=0.0) == "restart"
+        assert sup.decide(0, now=0.2) == "restart"  # streak 2, backoff now 0.2
+        # Crash after a long stable stretch (>= backoff_cap): streak resets,
+        # so the tight first-crash backoff applies again, not 0.4.
+        assert sup.decide(0, now=10.0) == "restart"
+        assert sup.decide(0, now=10.05) == "defer"
+        assert sup.backoff_remaining(0, now=10.05) == pytest.approx(0.05)
+
+    def test_slots_are_independent(self):
+        sup = WorkerSupervisor(budget=1, window=1000.0)
+        assert sup.decide(0, now=0.0) == "restart"
+        assert sup.decide(0, now=1.0) == "exhausted"
+        assert sup.decide(1, now=1.0) == "restart"
+        assert sup.dead_workers == (0,)
+
+    def test_mark_dead_and_stats(self):
+        sup = WorkerSupervisor(budget=4, window=60.0, backoff_base=0.0)
+        assert sup.decide(2, now=0.0) == "restart"
+        sup.mark_dead(5)
+        stats = sup.stats()
+        assert stats["restarts"] == {2: 1}
+        assert stats["dead_workers"] == [5]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            WorkerSupervisor(budget=-1)
+        with pytest.raises(ValueError, match="window"):
+            WorkerSupervisor(window=0.0)
+
+
+class TestPoisonKey:
+    def test_same_content_same_key_across_rebuilds(self):
+        a = {"A": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        b = {"A": np.arange(6, dtype=np.float64).reshape(2, 3).copy()}
+        assert poison_key("E", a) == poison_key("E", b)
+
+    def test_key_is_sensitive_to_every_component(self):
+        base = {"A": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        key = poison_key("E", base)
+        assert poison_key("F", base) != key  # expression
+        assert poison_key("E", {"B": base["A"]}) != key  # operand name
+        assert poison_key("E", {"A": base["A"].reshape(3, 2)}) != key  # shape
+        assert poison_key("E", {"A": base["A"].astype(np.float32)}) != key  # dtype
+        mutated = base["A"].copy()
+        mutated[0, 0] += 1.0
+        assert poison_key("E", {"A": mutated}) != key  # content
+
+    def test_sparse_format_operands_hash_by_content_not_identity(self):
+        from repro.formats import COO
+
+        dense = np.eye(4)
+        a = COO.from_dense(dense)
+        rebuilt = COO.from_dense(dense.copy())
+        assert poison_key("E", {"A": a}) == poison_key("E", {"A": rebuilt})
+        mutated = dense.copy()
+        mutated[0, 0] = 2.0
+        assert poison_key("E", {"A": COO.from_dense(mutated)}) != poison_key(
+            "E", {"A": a}
+        )
+
+    def test_operand_order_does_not_matter(self):
+        x = np.ones(3)
+        y = np.zeros(3)
+        assert poison_key("E", {"X": x, "Y": y}) == poison_key("E", {"Y": y, "X": x})
+
+
+class TestPoisonQuarantine:
+    def test_record_and_contains(self):
+        quarantine = PoisonQuarantine()
+        assert not quarantine.contains("k1")
+        quarantine.record("k1")
+        assert quarantine.contains("k1")
+        assert len(quarantine) == 1
+
+    def test_lru_eviction_at_capacity(self):
+        quarantine = PoisonQuarantine(capacity=2)
+        quarantine.record("a")
+        quarantine.record("b")
+        quarantine.contains("a")  # refresh "a": "b" is now least recent
+        quarantine.record("c")
+        assert quarantine.contains("a")
+        assert not quarantine.contains("b")
+        assert quarantine.contains("c")
+        assert len(quarantine) == 2
+
+    def test_stats_counts_repeat_offenders(self):
+        quarantine = PoisonQuarantine()
+        quarantine.record("k")
+        quarantine.record("k")
+        assert quarantine.stats() == {"size": 1, "keys": {"k": 2}}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PoisonQuarantine(capacity=0)
