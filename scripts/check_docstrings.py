@@ -37,6 +37,7 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.replay",
     "repro.resilience",
+    "repro.gateway",
 ]
 
 #: Minimum docstring length (characters) for an exported symbol.

@@ -45,6 +45,11 @@ Public API highlights
   backoff, crash-loop supervision with restart budgets and poison
   quarantine, and warm failover to a fallback backend (see
   ``docs/RESILIENCE.md``).
+* :mod:`repro.gateway` — the HTTP front door: a versioned ``/v1`` wire
+  API over :class:`repro.Session` (``Session.serve_gateway()``), with
+  JSON and binary operand encodings, per-tenant API-key auth and
+  admission quotas, header-carried deadlines shed at the edge, and a
+  Session-shaped :class:`repro.GatewayClient` (see ``docs/GATEWAY.md``).
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through,
 ``docs/FORMATS.md`` for the format zoo, and ``docs/BENCHMARKS.md`` for the
@@ -59,10 +64,15 @@ from repro.errors import (
     ControlThreadError,
     DeadlineExceededError,
     FutureCancelledError,
+    GatewayAuthError,
+    GatewayError,
     PoisonedRequestError,
     ServeError,
     SessionClosedError,
+    TenantQuotaError,
+    WireFormatError,
 )
+from repro.gateway import GatewayClient, GatewayConfig, GatewayServer
 from repro.resilience import RetryPolicy
 from repro.runtime import (
     InsumServer,
@@ -82,7 +92,7 @@ from repro.tuner import (
     profile_operand,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ClusterBusyError",
@@ -92,8 +102,15 @@ __all__ = [
     "DeadlineExceededError",
     "Future",
     "FutureCancelledError",
+    "GatewayAuthError",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayServer",
     "PoisonedRequestError",
     "RetryPolicy",
+    "TenantQuotaError",
+    "WireFormatError",
     "ServeConfig",
     "ServeError",
     "ServeStats",

@@ -65,20 +65,42 @@ ARRAY_CACHE_SIZE = 256
 PATTERN_CACHE_SIZE = 512
 
 
-def _ring_payload(array: np.ndarray) -> np.ndarray | None:
-    """The contiguous, ring-transportable view of ``array`` (or None)."""
+def transport_payload(array: np.ndarray) -> np.ndarray | None:
+    """The contiguous, transport-ready view of ``array`` (or None).
+
+    None means the array should ride inline instead: object dtypes
+    cannot be sent as raw bytes, and arrays under :data:`INLINE_BYTES`
+    cost more as a descriptor + raw-byte round trip than as a small
+    inline value.  Shared by the ring codec and the HTTP gateway's wire
+    codec, so both transports draw the inline/raw boundary identically.
+    """
     if array.dtype.hasobject or array.nbytes < INLINE_BYTES:
         return None
     return np.ascontiguousarray(array)
 
 
-def _checksum(payload: np.ndarray) -> int:
+def content_checksum(payload: np.ndarray) -> int:
     """Content checksum guarding the identity caches against in-place
     mutation.  crc32 over adler32: same C-speed, but no linear structure
     — adler32 is two byte *sums*, which realistic metadata edits (e.g.
     compensating increments 65521 elements apart) can leave unchanged.
     """
     return zlib.crc32(payload.data.cast("B"))
+
+
+def pattern_key(fmt: SparseFormat) -> tuple:
+    """The cache identity of a sparse pattern: (fingerprint, values token).
+
+    The fingerprint covers the pattern's metadata identity; the value
+    array's own identity token is appended so a pattern whose metadata
+    repeats under fresh values re-ships instead of serving stale values.
+    Both the ring codec and the gateway wire codec key their pattern
+    caches with this, which is what keeps worker-side coalescing keys
+    matching no matter which transport delivered the operand.
+    """
+    values = getattr(fmt, "values", None)
+    values_token = array_token(values) if isinstance(values, np.ndarray) else None
+    return (fmt.fingerprint(), values_token)
 
 
 class OperandEncoder:
@@ -114,7 +136,7 @@ class OperandEncoder:
         without touching the stability bookkeeping (the array is simply
         reconsidered next time it appears under budget).
         """
-        payload = _ring_payload(array)
+        payload = transport_payload(array)
         if payload is None or payload.nbytes > self.ring.max_payload:
             return ("inline", pickle.dumps(np.asarray(array))), release_to, 0
         token = array_token(array)
@@ -126,7 +148,7 @@ class OperandEncoder:
         # refilled in place) re-ships as a store, refreshing the worker's
         # stale entry instead of silently serving old bytes.
         stable = token in self._cached_tokens or token in self._seen_tokens
-        checksum = _checksum(payload) if stable else None
+        checksum = content_checksum(payload) if stable else None
         if checksum is not None and self._cached_tokens.get(token) == checksum:
             self._cached_tokens.move_to_end(token)
             return ("cached", token), release_to, 0
@@ -148,9 +170,7 @@ class OperandEncoder:
         return descriptor, release_to, payload.nbytes
 
     def _encode_pattern(self, fmt: SparseFormat) -> tuple[tuple, list[tuple]]:
-        values = getattr(fmt, "values", None)
-        values_token = array_token(values) if isinstance(values, np.ndarray) else None
-        key = (fmt.fingerprint(), values_token)
+        key = pattern_key(fmt)
         controls: list[tuple] = []
         if key in self._patterns_sent:
             self._patterns_sent.move_to_end(key)
@@ -307,7 +327,7 @@ def encode_result(
     fall back to inline pickling (``release_to`` stays 0).
     """
     if isinstance(array, np.ndarray):
-        payload = _ring_payload(array)
+        payload = transport_payload(array)
         if payload is not None and payload.nbytes <= ring.max_payload:
             offset, release_to = ring.write(payload, should_abort=should_abort)
             return ("ring", offset, payload.nbytes, payload.dtype.str, payload.shape), release_to

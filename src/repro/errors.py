@@ -155,6 +155,71 @@ class DeadlineExceededError(ServeError, RuntimeError):
     """
 
 
+class GatewayError(ServeError):
+    """Base class for HTTP-gateway failures (transport, wire, protocol).
+
+    Raised client-side by :class:`repro.gateway.GatewayClient` when a
+    response cannot be mapped back onto a more specific repro exception
+    — an unreachable server, a malformed body, or an error type the
+    client does not recognise.  Serving-tier errors that crossed the
+    wire intact re-raise as *themselves* (``ClusterBusyError`` stays
+    ``ClusterBusyError``), so ``GatewayError`` marks precisely the
+    failures the gateway layer itself introduced.
+    """
+
+
+class GatewayAuthError(GatewayError):
+    """The gateway rejected the request's API key (HTTP 401 or 403).
+
+    ``status`` is 401 when no key was presented and 403 when a key was
+    presented but is not in the gateway's keyring — the same distinction
+    the HTTP response carries, preserved so client code can tell
+    "configure a key" apart from "this key is wrong".
+    """
+
+    def __init__(self, message: str, status: int = 401):
+        super().__init__(message)
+        self.status = status
+
+
+class WireFormatError(GatewayError, ValueError):
+    """A request or response body violates the gateway wire format.
+
+    Covers malformed JSON, a bad binary frame (wrong magic, truncated
+    payload), an unknown operand descriptor, and operand values the
+    wire codec cannot represent.  Maps to HTTP 400 — the request can
+    never succeed as sent, so it is deliberately not retryable.
+    """
+
+
+class TenantQuotaError(ClusterBusyError):
+    """One tenant is at its gateway admission quota; others are unaffected.
+
+    A :class:`ClusterBusyError` subclass on purpose: the per-tenant
+    gate layered on the cluster-wide admission gate fails the same way
+    — over capacity, retry after ``retry_after`` — so retry policies
+    and replay classification treat both rejections identically.
+
+    Parameters
+    ----------
+    tenant:
+        The tenant whose quota is exhausted.
+    inflight / limit:
+        The tenant's in-flight count at rejection time and its bound.
+    retry_after:
+        Suggested seconds to wait before resubmitting.
+    """
+
+    def __init__(self, tenant: str, inflight: int, limit: int, retry_after: float):
+        super().__init__(inflight, limit, retry_after)
+        self.tenant = tenant
+        self.args = (
+            f"tenant {tenant!r} is at its admission quota "
+            f"({inflight}/{limit} requests in flight); "
+            f"retry after {retry_after:.3f}s",
+        )
+
+
 class ControlThreadError(ServeError, RuntimeError):
     """A serving control thread (dispatcher/collector/monitor) died.
 

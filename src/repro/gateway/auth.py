@@ -1,0 +1,124 @@
+"""Per-tenant API-key authentication and admission quotas for the gateway.
+
+Two small, thread-safe gates the request handler runs before a request
+can spend a Session slot:
+
+* :class:`Authenticator` — maps the ``X-Repro-Api-Key`` header onto a
+  tenant name through the configured keyring, distinguishing "no key
+  presented" (401) from "unknown key" (403).  With no keyring every
+  request is the ``anonymous`` tenant, so single-user deployments pay
+  no ceremony.
+* :class:`TenantQuota` — a per-tenant in-flight counter layered on the
+  cluster-wide admission gate: one noisy tenant saturating its own
+  quota is rejected with :class:`~repro.errors.TenantQuotaError`
+  (HTTP 429, ``retry_after`` attached) while every other tenant's
+  requests proceed untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.errors import GatewayAuthError, TenantQuotaError
+from repro.gateway.config import GatewayConfig
+
+__all__ = ["ANONYMOUS_TENANT", "Authenticator", "TenantQuota"]
+
+#: The tenant every request maps to when authentication is disabled.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class Authenticator:
+    """Maps request API keys onto tenant names through a keyring.
+
+    Parameters
+    ----------
+    api_keys:
+        Key string -> tenant name; ``None`` disables authentication and
+        every request authenticates as :data:`ANONYMOUS_TENANT`.
+    """
+
+    def __init__(self, api_keys: Mapping[str, str] | None):
+        self._keys = dict(api_keys) if api_keys is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        """True when a keyring is configured (requests must carry a key)."""
+        return self._keys is not None
+
+    def authenticate(self, api_key: str | None) -> str:
+        """Resolve ``api_key`` to its tenant, or raise.
+
+        Raises
+        ------
+        GatewayAuthError
+            With ``status=401`` when a keyring is configured and no key
+            was presented; ``status=403`` when the presented key is not
+            in the keyring.
+        """
+        if self._keys is None:
+            return ANONYMOUS_TENANT
+        if api_key is None or not api_key.strip():
+            raise GatewayAuthError(
+                "missing API key: set the X-Repro-Api-Key header", status=401
+            )
+        tenant = self._keys.get(api_key.strip())
+        if tenant is None:
+            raise GatewayAuthError("unknown API key", status=403)
+        return tenant
+
+
+class TenantQuota:
+    """Per-tenant in-flight admission gate for the gateway edge.
+
+    A counting semaphore per tenant: :meth:`acquire` either admits the
+    request (the caller *must* pair it with :meth:`release`) or raises
+    :class:`~repro.errors.TenantQuotaError` immediately — the edge never
+    queues, because queueing at the gateway would hide the backpressure
+    the cluster's own admission gate is designed to surface.
+
+    Parameters
+    ----------
+    config:
+        The gateway config supplying per-tenant limits
+        (:meth:`~repro.gateway.config.GatewayConfig.tenant_limit`) and
+        the ``retry_after`` hint attached to rejections.
+    """
+
+    def __init__(self, config: GatewayConfig):
+        self._config = config
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+
+    def acquire(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or reject it.
+
+        Raises
+        ------
+        TenantQuotaError
+            When the tenant is already at its in-flight limit; carries
+            ``retry_after`` so clients and retry policies can back off.
+        """
+        limit = self._config.tenant_limit(tenant)
+        with self._lock:
+            inflight = self._inflight.get(tenant, 0)
+            if limit is not None and inflight >= limit:
+                raise TenantQuotaError(
+                    tenant, inflight, limit, self._config.quota_retry_after
+                )
+            self._inflight[tenant] = inflight + 1
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted request's slot (idempotence is the caller's job)."""
+        with self._lock:
+            remaining = self._inflight.get(tenant, 0) - 1
+            if remaining > 0:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+
+    def inflight(self, tenant: str) -> int:
+        """The tenant's current admitted in-flight count (for tests/metrics)."""
+        with self._lock:
+            return self._inflight.get(tenant, 0)

@@ -12,6 +12,9 @@ not for serving traffic:
   restart / RSS state while the backend is healthy, ``503`` when
   degraded.
 * ``GET /statsz`` — the full ``ServeStats`` snapshot as JSON.
+* ``GET /v1`` — the gateway wire API's machine-readable index (plus the
+  bound address when the session is serving one), so an operator probing
+  the ops port discovers the data-plane surface from the same place.
 
 Start one with :meth:`repro.serve.Session.serve_ops` (or set
 ``REPRO_OPS_PORT`` and the session starts it for you); the server runs
@@ -141,6 +144,15 @@ class OpsServer:
             return {}
         return self.session.stats().to_dict()
 
+    def _api_index_body(self) -> dict[str, Any]:
+        from repro.gateway.wire import api_index
+
+        index = api_index()
+        gateway = getattr(self.session, "gateway", None)
+        if gateway is not None:
+            index["gateway"] = {"host": gateway.config.host, "port": gateway.port}
+        return index
+
 
 def _make_handler(ops: OpsServer) -> type:
     """Build the request-handler class bound to one :class:`OpsServer`."""
@@ -169,6 +181,9 @@ def _make_handler(ops: OpsServer) -> type:
                 elif path == "/statsz":
                     body = json.dumps(ops._stats_body(), default=repr).encode("utf-8")
                     self._reply(200, "application/json", body, path)
+                elif path in ("/v1", "/v1/"):
+                    body = json.dumps(ops._api_index_body(), default=repr).encode("utf-8")
+                    self._reply(200, "application/json", body, "/v1")
                 else:
                     self._reply(404, "application/json", b'{"error": "not found"}', path)
             except Exception:  # noqa: BLE001 — one bad request must not kill the server

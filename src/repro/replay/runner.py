@@ -347,11 +347,15 @@ def replay(
         operands = materializer.materialize(record, force_reuse)
         submitted_at = time.perf_counter()
         deadline_ms = record.extras.get("deadline_ms")
-        future = session.submit(
-            record.expression,
-            deadline_ms=None if deadline_ms is None else float(deadline_ms),
-            **operands,
-        )
+        submit_kwargs: dict[str, Any] = {
+            "deadline_ms": None if deadline_ms is None else float(deadline_ms),
+        }
+        if getattr(session, "accepts_tenant", False):
+            # Session-shaped HTTP clients (repro.gateway.GatewayClient)
+            # route each record through its tenant's API key, so the
+            # gateway's per-tenant accounting sees the trace's mix.
+            submit_kwargs["tenant"] = record.tenant
+        future = session.submit(record.expression, **submit_kwargs, **operands)
         report.submitted += 1
         for key in buffer_keys:
             busy_buffers[key] = future
@@ -374,6 +378,7 @@ def replay(
             "Replayed requests by outcome",
             backend=session.backend_name,
             outcome=outcome.outcome,
+            tenant=item.tenant,
         ).inc()
         bucket = tenant_counts.setdefault(item.tenant, {"submitted": 0, "ok": 0})
         bucket["submitted"] += 1

@@ -115,6 +115,7 @@ class Session:
         self._early: dict[tuple[str, int], InsumResult] = {}
         self._closed = False
         self._ops: OpsServer | None = None
+        self._gateway: Any = None
         self._log = get_logger("serve.session")
         self._backend: ExecutorBackend = build_backend(backend, config)
         self._backend.set_result_sink(functools.partial(self._on_result, "primary"))
@@ -171,7 +172,11 @@ class Session:
         ``REPRO_SERVE_BACKEND`` picks the tier (default ``inline``); the
         remaining variables populate :meth:`ServeConfig.from_env` — so a
         deployment switches from one process to a cluster without a code
-        change.
+        change.  When ``REPRO_GATEWAY_PORT`` is also set, the session
+        starts an HTTP gateway configured from the ``REPRO_GATEWAY_*``
+        variables (see :meth:`serve_gateway`); a gateway that fails to
+        start closes the session and re-raises — a deployment that asked
+        for a network edge must not silently run without one.
 
         Parameters
         ----------
@@ -182,7 +187,16 @@ class Session:
 
         environ = os.environ if environ is None else environ
         backend = environ.get(BACKEND_ENV, "inline")
-        return cls(backend=backend, config=ServeConfig.from_env(environ))
+        session = cls(backend=backend, config=ServeConfig.from_env(environ))
+        from repro.gateway.config import GATEWAY_PORT_ENV, GatewayConfig
+
+        if environ.get(GATEWAY_PORT_ENV, "").strip():
+            try:
+                session.serve_gateway(config=GatewayConfig.from_env(environ))
+            except Exception:
+                session.close()
+                raise
+        return session
 
     @property
     def backend_name(self) -> str:
@@ -342,7 +356,9 @@ class Session:
             yield pending.popleft().result(timeout)
 
     # -- asyncio bridge -----------------------------------------------------
-    async def asubmit(self, expression: str, **operands: Any) -> np.ndarray:
+    async def asubmit(
+        self, expression: str, *, deadline_ms: float | None = None, **operands: Any
+    ) -> np.ndarray:
         """Await one request's result without blocking the event loop.
 
         The submission itself runs in the loop's default thread-pool
@@ -352,9 +368,21 @@ class Session:
         async HTTP handler can therefore call
         ``await session.asubmit(...)`` directly; errors raise from the
         ``await`` exactly as :meth:`Future.result` would raise them.
+
+        Parameters
+        ----------
+        expression:
+            The Einsum to execute, as for :meth:`submit`.
+        deadline_ms:
+            Per-request deadline in milliseconds, as for :meth:`submit`
+            (the gateway's header-carried budget lands here).
+        **operands:
+            Operand tensors by name.
         """
         loop = asyncio.get_running_loop()
-        submit = functools.partial(self.submit, expression, **operands)
+        submit = functools.partial(
+            self.submit, expression, deadline_ms=deadline_ms, **operands
+        )
         future = await loop.run_in_executor(None, submit)
         afuture: asyncio.Future[np.ndarray] = loop.create_future()
 
@@ -560,6 +588,9 @@ class Session:
             with self._lock:
                 self._retry_states.pop(future, None)
             future._deliver(result)
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
         if self._ops is not None:
             self._ops.stop()
             self._ops = None
@@ -688,3 +719,60 @@ class Session:
                 extra={"host": host, "port": self._ops.port, "backend": self._backend_name},
             )
         return self._ops
+
+    def serve_gateway(self, config: Any = None, port: int | None = None,
+                      host: str | None = None) -> Any:
+        """Start (or return) this session's HTTP gateway.
+
+        The network front door: the versioned ``/v1`` wire API of
+        :class:`repro.gateway.GatewayServer` — JSON and binary operand
+        encodings, per-tenant API-key auth and admission quotas,
+        header-carried deadlines, trace propagation — served on a daemon
+        thread over this session.  Stopped automatically by
+        :meth:`close`.  Also started by :meth:`from_env` when the
+        ``REPRO_GATEWAY_PORT`` environment variable is set.
+
+        Parameters
+        ----------
+        config:
+            A :class:`repro.gateway.GatewayConfig`; None builds one from
+            the defaults plus the ``port``/``host`` overrides below.
+        port:
+            Overrides ``config.port`` (0 = ephemeral; read it back from
+            the returned server's ``port``).
+        host:
+            Overrides ``config.host`` (loopback by default).
+        """
+        if self._closed:
+            raise SessionClosedError("Session is closed")
+        if self._gateway is None:
+            from repro.gateway import GatewayConfig, GatewayServer
+
+            if config is None:
+                config = GatewayConfig()
+            if port is not None or host is not None:
+                import dataclasses
+
+                config = dataclasses.replace(
+                    config,
+                    **{
+                        key: value
+                        for key, value in (("port", port), ("host", host))
+                        if value is not None
+                    },
+                )
+            self._gateway = GatewayServer(session=self, config=config).start()
+            self._log.info(
+                "gateway listening",
+                extra={
+                    "host": config.host,
+                    "port": self._gateway.port,
+                    "backend": self._backend_name,
+                },
+            )
+        return self._gateway
+
+    @property
+    def gateway(self) -> Any:
+        """The running :class:`repro.gateway.GatewayServer`, or None."""
+        return self._gateway

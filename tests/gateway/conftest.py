@@ -1,0 +1,59 @@
+"""Shared fixtures for the gateway test suite.
+
+One module-scoped inline session fronted by a keyed gateway carries the
+bulk of the e2e tests (auth, parity, deadlines, metrics); the SpMM
+operand fixture mirrors the serve suite's shape so gateway results can
+be compared bitwise against direct ``Session.submit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import GroupCOO
+from repro.gateway import GatewayClient, GatewayConfig, GatewayServer
+from repro.serve import Session
+
+SPMM_EXPR = "C[m,n] += A[m,k] * B[k,n]"
+
+#: The e2e keyring: two named tenants.
+API_KEYS = {"key-acme": "acme", "key-beta": "beta"}
+
+
+@pytest.fixture(scope="module")
+def spmm_operands():
+    """One small SpMM request: a GroupCOO pattern and a dense operand."""
+    rng = np.random.default_rng(11)
+    fmt = GroupCOO.from_dense(
+        np.where(rng.random((32, 48)) < 0.1, rng.standard_normal((32, 48)), 0.0),
+        group_size=4,
+    )
+    return dict(A=fmt, B=rng.standard_normal((48, 8)))
+
+
+@pytest.fixture(scope="module")
+def inline_gateway():
+    """An inline session serving a keyed gateway; yields (session, server)."""
+    session = Session("inline")
+    server = session.serve_gateway(config=GatewayConfig(api_keys=dict(API_KEYS)))
+    yield session, server
+    session.close()
+
+
+@pytest.fixture
+def acme_client(inline_gateway):
+    """A binary-wire client authenticated as tenant ``acme``."""
+    _, server = inline_gateway
+    with GatewayClient(server.url(""), api_key="key-acme") as client:
+        yield client
+
+
+@pytest.fixture
+def open_gateway():
+    """An unauthenticated (anonymous-tenant) gateway over a fresh session."""
+    session = Session("inline")
+    server = GatewayServer(session, config=GatewayConfig()).start()
+    yield session, server
+    server.stop()
+    session.close()

@@ -1,0 +1,104 @@
+"""Authenticator and TenantQuota: the two gates ahead of a Session slot."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import GatewayAuthError, TenantQuotaError
+from repro.gateway import ANONYMOUS_TENANT, Authenticator, GatewayConfig, TenantQuota
+
+
+class TestAuthenticator:
+    def test_disabled_keyring_is_anonymous(self):
+        auth = Authenticator(None)
+        assert not auth.enabled
+        assert auth.authenticate(None) == ANONYMOUS_TENANT
+        assert auth.authenticate("whatever") == ANONYMOUS_TENANT
+
+    def test_known_key_resolves_tenant(self):
+        auth = Authenticator({"key-a": "acme"})
+        assert auth.enabled
+        assert auth.authenticate("key-a") == "acme"
+        assert auth.authenticate("  key-a  ") == "acme"  # header whitespace
+
+    @pytest.mark.parametrize("key", [None, "", "   "])
+    def test_missing_key_is_401(self, key):
+        with pytest.raises(GatewayAuthError) as excinfo:
+            Authenticator({"key-a": "acme"}).authenticate(key)
+        assert excinfo.value.status == 401
+
+    def test_unknown_key_is_403(self):
+        with pytest.raises(GatewayAuthError) as excinfo:
+            Authenticator({"key-a": "acme"}).authenticate("key-z")
+        assert excinfo.value.status == 403
+
+
+class TestTenantQuota:
+    def quota(self, **overrides) -> TenantQuota:
+        config = GatewayConfig(
+            api_keys={"k1": "acme", "k2": "beta"},
+            quota_retry_after=0.125,
+            **overrides,
+        )
+        return TenantQuota(config)
+
+    def test_unlimited_without_config(self):
+        quota = self.quota()
+        for _ in range(64):
+            quota.acquire("acme")
+        assert quota.inflight("acme") == 64
+
+    def test_rejects_at_limit_with_fields(self):
+        quota = self.quota(max_inflight_per_tenant=2)
+        quota.acquire("acme")
+        quota.acquire("acme")
+        with pytest.raises(TenantQuotaError) as excinfo:
+            quota.acquire("acme")
+        error = excinfo.value
+        assert (error.tenant, error.inflight, error.limit) == ("acme", 2, 2)
+        assert error.retry_after == 0.125
+
+    def test_release_frees_the_slot(self):
+        quota = self.quota(max_inflight_per_tenant=1)
+        quota.acquire("acme")
+        quota.release("acme")
+        quota.acquire("acme")  # would raise if the slot leaked
+        assert quota.inflight("acme") == 1
+
+    def test_tenants_are_isolated(self):
+        quota = self.quota(max_inflight_per_tenant=1)
+        quota.acquire("acme")
+        quota.acquire("beta")  # acme saturating its quota never blocks beta
+        with pytest.raises(TenantQuotaError):
+            quota.acquire("acme")
+
+    def test_per_tenant_override(self):
+        quota = self.quota(max_inflight_per_tenant=4, tenant_quotas={"acme": 1})
+        quota.acquire("acme")
+        with pytest.raises(TenantQuotaError):
+            quota.acquire("acme")
+        for _ in range(4):
+            quota.acquire("beta")
+
+    def test_thread_safety_never_overshoots(self):
+        quota = self.quota(max_inflight_per_tenant=8)
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def worker():
+            barrier.wait()
+            try:
+                quota.acquire("acme")
+                admitted.append(1)
+            except TenantQuotaError:
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 8
+        assert quota.inflight("acme") == 8

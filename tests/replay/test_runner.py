@@ -63,12 +63,16 @@ class TestInlineReplay:
 
     def test_registry_counters_updated(self, small_trace, inline_session):
         registry = get_registry()
-        counter = registry.counter(
-            "replay_requests_total", backend="inline", outcome="ok"
-        )
-        before = counter.value()
+        counters = [
+            registry.counter(
+                "replay_requests_total", backend="inline", outcome="ok", tenant=tenant
+            )
+            for tenant in small_trace.tenants()
+        ]
+        before = sum(counter.value() for counter in counters)
         replay(small_trace, inline_session, time_scale=0.0)
-        assert counter.value() >= before + small_trace.header.records
+        after = sum(counter.value() for counter in counters)
+        assert after >= before + small_trace.header.records
 
 
 class TestVerifyModes:
